@@ -1,0 +1,86 @@
+// Command experiments regenerates the paper's evaluation figures on the
+// software SmartNIC emulator and prints each as a text table.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -fig fig9a [-fig fig9c ...]   # specific figures
+//	experiments -all [-quick]                 # everything
+//	experiments -all -quick -out results.txt  # tee to a file
+//
+// -quick shrinks sample counts for fast runs; drop it for the full scales
+// recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"pipeleon/internal/experiments"
+)
+
+type figList []string
+
+func (f *figList) String() string { return fmt.Sprint(*f) }
+func (f *figList) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+func main() {
+	var figs figList
+	flag.Var(&figs, "fig", "figure id to run (repeatable); see -list")
+	var (
+		all     = flag.Bool("all", false, "run every figure")
+		quick   = flag.Bool("quick", false, "reduced sample counts")
+		list    = flag.Bool("list", false, "list figure ids")
+		outPath = flag.String("out", "", "also write results to this file")
+		seed    = flag.Uint64("seed", 42, "experiment seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+	var runners []experiments.Runner
+	if *all {
+		runners = experiments.All()
+	} else {
+		for _, id := range figs {
+			r := experiments.Find(id)
+			if r == nil {
+				fmt.Fprintf(os.Stderr, "experiments: unknown figure %q (see -list)\n", id)
+				os.Exit(2)
+			}
+			runners = append(runners, *r)
+		}
+	}
+	if len(runners) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+	opts := experiments.RunOpts{Quick: *quick, Seed: *seed}
+	for _, r := range runners {
+		start := time.Now()
+		res := r.Run(opts)
+		res.Render(out)
+		fmt.Fprintf(out, "(%s ran in %s)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

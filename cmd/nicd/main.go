@@ -1,0 +1,171 @@
+// Command nicd runs a software SmartNIC: it loads a P4 program JSON into
+// the emulator, starts the Pipeleon runtime loop (windowed profiling +
+// re-optimization + hot swap), and serves the program-management API over
+// TCP for p4cctl. With -traffic it also self-generates a packet workload
+// so the profile-guided loop has something to observe — a single-binary
+// "rack demo" of the paper's Figure 3 workflow.
+//
+// Usage:
+//
+//	nicd -program prog.json [-target bluefield2] [-listen 127.0.0.1:9559]
+//	     [-interval 5s] [-traffic 1000] [-skew 0.9] [-pps 50000]
+//	     [-duration 30s] [-quiet]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"strings"
+
+	"pipeleon/internal/controlplane"
+	"pipeleon/internal/core"
+	"pipeleon/internal/costmodel"
+	"pipeleon/internal/nicsim"
+	"pipeleon/internal/opt"
+	"pipeleon/internal/p4c"
+	"pipeleon/internal/p4ir"
+	"pipeleon/internal/profile"
+	"pipeleon/internal/trafficgen"
+)
+
+func main() {
+	var (
+		progPath = flag.String("program", "", "P4 program: JSON or .p4 source (required)")
+		target   = flag.String("target", "bluefield2", "bluefield2|agiliocx|emulated")
+		listen   = flag.String("listen", "127.0.0.1:9559", "control-plane listen address")
+		interval = flag.Duration("interval", 5*time.Second, "optimization window")
+		flows    = flag.Int("traffic", 0, "self-generate a workload with this many flows (0 = none)")
+		skew     = flag.Float64("skew", 0.9, "traffic Zipf skew")
+		pps      = flag.Int("pps", 20000, "self-generated packets per second")
+		duration = flag.Duration("duration", 0, "exit after this long (0 = run until signal)")
+		quiet    = flag.Bool("quiet", false, "suppress per-window stats")
+		profOut  = flag.String("profile-out", "", "on exit, dump the last window's translated profile JSON here (usable with pipeleon -profile)")
+	)
+	flag.Parse()
+	if *progPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var prog *p4ir.Program
+	if strings.HasSuffix(*progPath, ".p4") {
+		src, rerr := os.ReadFile(*progPath)
+		if rerr != nil {
+			fatal("loading program: %v", rerr)
+		}
+		var cerr error
+		prog, cerr = p4c.Compile(string(src))
+		if cerr != nil {
+			fatal("compiling P4: %v", cerr)
+		}
+	} else {
+		var lerr error
+		prog, lerr = p4ir.LoadFile(*progPath)
+		if lerr != nil {
+			fatal("loading program: %v", lerr)
+		}
+	}
+	var pm costmodel.Params
+	switch *target {
+	case "bluefield2":
+		pm = costmodel.BlueField2()
+	case "agiliocx":
+		pm = costmodel.AgilioCX()
+	case "emulated":
+		pm = costmodel.EmulatedNIC()
+	default:
+		fatal("unknown target %q", *target)
+	}
+
+	col := profile.NewCollector()
+	nic, err := nicsim.New(prog, nicsim.Config{
+		Params: pm, Collector: col, Instrument: true, CacheFillCostNs: 500,
+	})
+	if err != nil {
+		fatal("starting emulator: %v", err)
+	}
+	rt, err := core.NewRuntime(prog, nic, col, pm, opt.DefaultConfig())
+	if err != nil {
+		fatal("starting runtime: %v", err)
+	}
+	srv, err := controlplane.NewServer(*listen, rt, col)
+	if err != nil {
+		fatal("starting control plane: %v", err)
+	}
+	defer srv.Close()
+	fmt.Printf("nicd: %s on %s model, control plane at %s\n", prog.Name, pm.Name, srv.Addr())
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(*interval)
+		defer ticker.Stop()
+		var gen *trafficgen.Generator
+		if *flows > 0 {
+			gen = trafficgen.New(1, 0)
+			gen.AddFlows(trafficgen.UniformFlows(2, *flows)...)
+			gen.SetSkew(*skew)
+		}
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				if gen != nil {
+					n := int(float64(*pps) * interval.Seconds())
+					m := nic.MeasureParallel(gen.Batch(n), 0)
+					if !*quiet {
+						fmt.Printf("nicd: window %.1f Gbps, %.0f ns mean, drop %.1f%%\n",
+							m.ThroughputGbps, m.MeanLatencyNs, m.DropRate*100)
+					}
+				}
+				rep, err := rt.OptimizeOnce(*interval)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "nicd: optimize: %v\n", err)
+					continue
+				}
+				if rep.Deployed && !*quiet {
+					fmt.Printf("nicd: deployed new layout (round %d, gain %.0f ns): %v\n",
+						rep.Round, rep.Gain, rep.Plan)
+				}
+			}
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if *duration > 0 {
+		select {
+		case <-sig:
+		case <-time.After(*duration):
+		}
+	} else {
+		<-sig
+	}
+	close(stop)
+	<-done
+	if *profOut != "" {
+		prof := rt.TranslatedCounters()
+		data, err := json.MarshalIndent(prof, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*profOut, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nicd: writing profile: %v\n", err)
+		} else {
+			fmt.Printf("nicd: wrote profile to %s\n", *profOut)
+		}
+	}
+	fmt.Println("nicd: bye")
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "nicd: "+format+"\n", args...)
+	os.Exit(1)
+}

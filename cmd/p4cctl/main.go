@@ -1,0 +1,187 @@
+// Command p4cctl is the control-plane client for nicd: it inserts,
+// modifies and deletes table entries against the *original* program's
+// table names (Pipeleon's API mapping keeps them valid whatever layout is
+// currently deployed), reads counters, and dumps the deployed program.
+//
+// Usage:
+//
+//	p4cctl [-addr 127.0.0.1:9559] ping
+//	p4cctl insert -table acl1 -action drop_packet -match 23
+//	p4cctl insert -table lpm_rt -action fwd -match 0x0a000000/8 -args 3
+//	p4cctl insert -table acl -action allow -match 0x0a000000:0xff000000 -prio 7
+//	p4cctl modify -table acl1 -match 23 -action allow
+//	p4cctl delete -table acl1 -match 23
+//	p4cctl counters
+//	p4cctl program
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pipeleon/internal/controlplane"
+	"pipeleon/internal/p4ir"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9559", "nicd control-plane address")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+	verb := flag.Arg(0)
+
+	sub := flag.NewFlagSet(verb, flag.ExitOnError)
+	table := sub.String("table", "", "table name (original program)")
+	action := sub.String("action", "", "action name")
+	matchStr := sub.String("match", "", "comma-separated match values: V, V/prefixlen, or V:mask")
+	argsStr := sub.String("args", "", "comma-separated action data")
+	prio := sub.Int("prio", 0, "entry priority (ternary)")
+	_ = sub.Parse(flag.Args()[1:])
+
+	cl, err := controlplane.Dial(*addr)
+	if err != nil {
+		fatal("connecting to %s: %v", *addr, err)
+	}
+	defer cl.Close()
+
+	switch verb {
+	case "ping":
+		if err := cl.Ping(); err != nil {
+			fatal("ping: %v", err)
+		}
+		fmt.Println("ok")
+	case "insert":
+		match, err := parseMatch(*matchStr)
+		if err != nil {
+			fatal("%v", err)
+		}
+		e := p4ir.Entry{Priority: *prio, Match: match, Action: *action, Args: splitArgs(*argsStr)}
+		if err := cl.InsertEntry(*table, e); err != nil {
+			fatal("insert: %v", err)
+		}
+		fmt.Println("inserted")
+	case "modify":
+		match, err := parseMatch(*matchStr)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := cl.ModifyEntry(*table, match, *action, splitArgs(*argsStr)); err != nil {
+			fatal("modify: %v", err)
+		}
+		fmt.Println("modified")
+	case "delete":
+		match, err := parseMatch(*matchStr)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := cl.DeleteEntry(*table, match); err != nil {
+			fatal("delete: %v", err)
+		}
+		fmt.Println("deleted")
+	case "counters":
+		prof, err := cl.Counters()
+		if err != nil {
+			fatal("counters: %v", err)
+		}
+		var tables []string
+		for t := range prof.ActionCounts {
+			tables = append(tables, t)
+		}
+		sort.Strings(tables)
+		for _, t := range tables {
+			fmt.Printf("%s: total=%d\n", t, prof.TableTotal(t))
+			var acts []string
+			for a := range prof.ActionCounts[t] {
+				acts = append(acts, a)
+			}
+			sort.Strings(acts)
+			for _, a := range acts {
+				fmt.Printf("  %-24s %d\n", a, prof.ActionCounts[t][a])
+			}
+		}
+	case "program":
+		prog, err := cl.Program()
+		if err != nil {
+			fatal("program: %v", err)
+		}
+		data, err := json.MarshalIndent(prog, "", "  ")
+		if err != nil {
+			fatal("encoding: %v", err)
+		}
+		fmt.Println(string(data))
+	default:
+		usage()
+	}
+}
+
+// parseMatch parses "V[,V...]" where each V is value, value/prefixlen
+// (LPM) or value:mask (ternary); values accept 0x hex.
+func parseMatch(s string) ([]p4ir.MatchValue, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []p4ir.MatchValue
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		var mv p4ir.MatchValue
+		switch {
+		case strings.Contains(part, "/"):
+			bits := strings.SplitN(part, "/", 2)
+			v, err := strconv.ParseUint(bits[0], 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad match value %q: %v", part, err)
+			}
+			p, err := strconv.Atoi(bits[1])
+			if err != nil {
+				return nil, fmt.Errorf("bad prefix length %q: %v", part, err)
+			}
+			mv = p4ir.MatchValue{Value: v, PrefixLen: p}
+		case strings.Contains(part, ":"):
+			bits := strings.SplitN(part, ":", 2)
+			v, err := strconv.ParseUint(bits[0], 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad match value %q: %v", part, err)
+			}
+			m, err := strconv.ParseUint(bits[1], 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad mask %q: %v", part, err)
+			}
+			mv = p4ir.MatchValue{Value: v, Mask: m}
+		default:
+			v, err := strconv.ParseUint(part, 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad match value %q: %v", part, err)
+			}
+			mv = p4ir.MatchValue{Value: v}
+		}
+		out = append(out, mv)
+	}
+	return out, nil
+}
+
+func splitArgs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: p4cctl [-addr host:port] ping|insert|modify|delete|counters|program [flags]")
+	os.Exit(2)
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "p4cctl: "+format+"\n", args...)
+	os.Exit(1)
+}

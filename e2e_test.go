@@ -1,0 +1,121 @@
+package pipeleon
+
+// End-to-end tests over the actual command-line binaries: build them with
+// the local toolchain into a temp dir and drive the README workflows.
+// Skipped under -short.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func buildTool(t *testing.T, dir, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	pipeleonBin := buildTool(t, dir, "./cmd/pipeleon")
+	nicdBin := buildTool(t, dir, "./cmd/nicd")
+	p4cctlBin := buildTool(t, dir, "./cmd/p4cctl")
+	expBin := buildTool(t, dir, "./cmd/experiments")
+
+	// 1. pipeleon: compile .p4, optimize, emit JSON; reload the output.
+	outJSON := filepath.Join(dir, "dash.opt.json")
+	cmd := exec.Command(pipeleonBin, "-in", "testdata/dash.p4", "-target", "agiliocx", "-out", outJSON, "-v")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("pipeleon CLI: %v\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "estimated gain") {
+		t.Errorf("verbose output missing gain: %s", stderr.String())
+	}
+	optimized, err := LoadProgram(outJSON)
+	if err != nil {
+		t.Fatalf("reloading optimized output: %v", err)
+	}
+	if err := optimized.Validate(); err != nil {
+		t.Fatalf("optimized output invalid: %v", err)
+	}
+
+	// 2. nicd + p4cctl: serve the program, insert a rule, read counters,
+	// fetch the deployed program, and dump a profile on exit.
+	profPath := filepath.Join(dir, "prof.json")
+	nicd := exec.Command(nicdBin,
+		"-program", "testdata/dash.p4", "-traffic", "300",
+		"-interval", "300ms", "-listen", "127.0.0.1:19633",
+		"-duration", "4s", "-quiet", "-profile-out", profPath)
+	var nicdOut bytes.Buffer
+	nicd.Stdout = &nicdOut
+	nicd.Stderr = &nicdOut
+	if err := nicd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer nicd.Process.Kill()
+
+	ctl := func(args ...string) (string, error) {
+		c := exec.Command(p4cctlBin, append([]string{"-addr", "127.0.0.1:19633"}, args...)...)
+		out, err := c.CombinedOutput()
+		return string(out), err
+	}
+	// Wait for the server.
+	var pingErr error
+	for i := 0; i < 40; i++ {
+		if _, pingErr = ctl("ping"); pingErr == nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if pingErr != nil {
+		t.Fatalf("nicd never came up: %v\n%s", pingErr, nicdOut.String())
+	}
+	if out, err := ctl("insert", "-table", "acl_level2", "-action", "deny",
+		"-match", "0xdd000002:0xffffffff", "-prio", "8"); err != nil {
+		t.Fatalf("p4cctl insert: %v\n%s", err, out)
+	}
+	if out, err := ctl("program"); err != nil || !strings.Contains(out, "acl_level2") {
+		t.Fatalf("p4cctl program: %v\n%s", err, out)
+	}
+	if err := nicd.Wait(); err != nil {
+		t.Fatalf("nicd exit: %v\n%s", err, nicdOut.String())
+	}
+	// 3. The dumped profile feeds the offline optimizer.
+	data, err := os.ReadFile(profPath)
+	if err != nil {
+		t.Fatalf("profile dump missing: %v\n%s", err, nicdOut.String())
+	}
+	var anyJSON map[string]any
+	if err := json.Unmarshal(data, &anyJSON); err != nil {
+		t.Fatalf("profile dump not JSON: %v", err)
+	}
+	cmd = exec.Command(pipeleonBin, "-in", "testdata/dash.p4", "-profile", profPath, "-out", filepath.Join(dir, "opt2.json"))
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("pipeleon with live profile: %v\n%s", err, out)
+	}
+
+	// 4. experiments: one quick figure renders.
+	out, err := exec.Command(expBin, "-fig", "fig10", "-quick").CombinedOutput()
+	if err != nil {
+		t.Fatalf("experiments: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "fig10") {
+		t.Errorf("experiments output missing figure: %s", out)
+	}
+}

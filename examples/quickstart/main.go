@@ -1,0 +1,108 @@
+// Quickstart: build a small P4 program, run traffic through the software
+// SmartNIC to collect a runtime profile, ask Pipeleon for an optimization
+// plan, and compare the measured performance of the original and optimized
+// layouts.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pipeleon"
+)
+
+func main() {
+	// A toy pipeline: two ternary packet-processing tables, then an ACL
+	// that drops most traffic, in the worst place — last.
+	prog, err := pipeleon.ChainTables("quickstart", []pipeleon.TableSpec{
+		{
+			Name: "classify",
+			Keys: []pipeleon.Key{{Field: "ipv4.srcAddr", Kind: pipeleon.MatchTernary, Width: 32}},
+			Actions: []*pipeleon.Action{
+				pipeleon.NewAction("tag", pipeleon.Prim("modify_field", "meta.class", "1")),
+				pipeleon.NewAction("pass", pipeleon.Prim("no_op")),
+			},
+			DefaultAction: "pass",
+			Entries: []pipeleon.Entry{
+				{Priority: 1, Match: []pipeleon.MatchValue{{Value: 0x0a000000, Mask: 0xff000000}}, Action: "tag"},
+				{Priority: 2, Match: []pipeleon.MatchValue{{Value: 0x0a0a0000, Mask: 0xffff0000}}, Action: "tag"},
+			},
+		},
+		{
+			Name: "police",
+			Keys: []pipeleon.Key{{Field: "ipv4.dstAddr", Kind: pipeleon.MatchTernary, Width: 32}},
+			Actions: []*pipeleon.Action{
+				pipeleon.NewAction("mark", pipeleon.Prim("modify_field", "ipv4.tos", "8")),
+				pipeleon.NewAction("pass", pipeleon.Prim("no_op")),
+			},
+			DefaultAction: "pass",
+			Entries: []pipeleon.Entry{
+				{Priority: 1, Match: []pipeleon.MatchValue{{Value: 0x0b000000, Mask: 0xff000000}}, Action: "mark"},
+			},
+		},
+		{
+			Name: "acl",
+			Keys: []pipeleon.Key{{Field: "tcp.dport", Kind: pipeleon.MatchExact, Width: 16}},
+			Actions: []*pipeleon.Action{
+				pipeleon.DropAction(),
+				pipeleon.NewAction("allow", pipeleon.Prim("no_op")),
+			},
+			DefaultAction: "allow",
+			Entries: []pipeleon.Entry{
+				{Match: []pipeleon.MatchValue{{Value: 23}}, Action: "drop_packet"},
+			},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	target := pipeleon.BlueField2()
+
+	// Run traffic on an instrumented emulator to collect the profile:
+	// 75% of packets hit the ACL's drop rule.
+	col := pipeleon.NewCollector()
+	emu, err := pipeleon.NewEmulator(prog, pipeleon.EmulatorConfig{
+		Params: target, Collector: col, Instrument: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen := pipeleon.NewTrafficGen(7)
+	gen.AddFlows(pipeleon.DropTargetedFlows(8, 1000, "tcp.dport", 23, 0.75)...)
+	before := emu.Measure(gen.Batch(5000))
+	prof := col.Snapshot()
+
+	fmt.Printf("original:  %6.1f ns/pkt, %5.1f Gbps (drop rate %.0f%%)\n",
+		before.MeanLatencyNs, before.ThroughputGbps, before.DropRate*100)
+	fmt.Printf("model:     %6.1f ns/pkt expected\n", pipeleon.ExpectedLatency(prog, prof, target))
+
+	// One profile-guided optimization round.
+	optsCfg := pipeleon.DefaultOptions()
+	optsCfg.TopKFrac = 1
+	plan, err := pipeleon.Optimize(prog, prof, target, optsCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !plan.Changed() {
+		fmt.Println("nothing to optimize")
+		return
+	}
+	fmt.Printf("plan gain: %6.1f ns/pkt estimated (%d options, search %s)\n",
+		plan.Gain(), len(plan.Result.Plan), plan.Result.Elapsed)
+	for _, o := range plan.Result.Plan {
+		fmt.Printf("  %s\n", o)
+	}
+
+	// Deploy and re-measure.
+	if err := emu.Swap(plan.Program); err != nil {
+		log.Fatal(err)
+	}
+	emu.Measure(gen.Batch(2000)) // warm caches
+	after := emu.Measure(gen.Batch(5000))
+	fmt.Printf("optimized: %6.1f ns/pkt, %5.1f Gbps — %.1fx faster\n",
+		after.MeanLatencyNs, after.ThroughputGbps,
+		before.MeanLatencyNs/after.MeanLatencyNs)
+}

@@ -1,0 +1,3 @@
+module pipeleon
+
+go 1.22

@@ -1,0 +1,109 @@
+package controlplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"pipeleon/internal/p4ir"
+	"pipeleon/internal/profile"
+)
+
+// Client is a synchronous control-plane client. It is safe for concurrent
+// use; calls are serialized over one connection.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	nextID uint64
+	// Timeout bounds each round trip (default 5s).
+	Timeout time.Duration
+}
+
+// Dial connects to a control-plane server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, Timeout: 5 * time.Second}, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) call(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	req.ID = c.nextID
+	deadline := time.Now().Add(c.Timeout)
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if err := writeFrame(c.conn, req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := readFrame(c.conn, &resp); err != nil {
+		return nil, err
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("controlplane: response id %d for request %d", resp.ID, req.ID)
+	}
+	if !resp.OK {
+		return &resp, fmt.Errorf("controlplane: %s", resp.Error)
+	}
+	return &resp, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.call(&Request{Op: OpPing})
+	return err
+}
+
+// InsertEntry installs an entry into a table of the original program.
+func (c *Client) InsertEntry(table string, e p4ir.Entry) error {
+	_, err := c.call(&Request{Op: OpInsert, Table: table, Entry: FromEntry(e)})
+	return err
+}
+
+// DeleteEntry removes the entry with the given match values.
+func (c *Client) DeleteEntry(table string, match []p4ir.MatchValue) error {
+	_, err := c.call(&Request{Op: OpDelete, Table: table, Match: match})
+	return err
+}
+
+// ModifyEntry rewrites the action of the matching entry.
+func (c *Client) ModifyEntry(table string, match []p4ir.MatchValue, action string, args []string) error {
+	_, err := c.call(&Request{Op: OpModify, Table: table, Match: match, Action: action, Args: args})
+	return err
+}
+
+// Program fetches the currently deployed program.
+func (c *Client) Program() (*p4ir.Program, error) {
+	resp, err := c.call(&Request{Op: OpProgram})
+	if err != nil {
+		return nil, err
+	}
+	p := &p4ir.Program{}
+	if err := p.UnmarshalJSON(resp.Data); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Counters fetches a profile snapshot from the device collector.
+func (c *Client) Counters() (*profile.Profile, error) {
+	resp, err := c.call(&Request{Op: OpCounters})
+	if err != nil {
+		return nil, err
+	}
+	p := profile.New()
+	if err := json.Unmarshal(resp.Data, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,137 @@
+package controlplane
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"pipeleon/internal/p4ir"
+)
+
+// Failure injection: the server must survive garbage frames, truncated
+// writes, oversized headers, and abrupt disconnects without crashing or
+// wedging other clients.
+
+func rawDial(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func assertServerAlive(t *testing.T, srv *Server) {
+	t.Helper()
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("server unreachable after fault: %v", err)
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("server unhealthy after fault: %v", err)
+	}
+}
+
+func TestServerSurvivesGarbageFrame(t *testing.T) {
+	srv, _, _, _ := startServer(t)
+	conn := rawDial(t, srv.Addr())
+	// Valid length prefix, invalid JSON payload.
+	payload := []byte("this is not json {{{{")
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	conn.Write(hdr[:])
+	conn.Write(payload)
+	// The server drops this connection; others must still work.
+	assertServerAlive(t, srv)
+}
+
+func TestServerSurvivesOversizedHeader(t *testing.T) {
+	srv, _, _, _ := startServer(t)
+	conn := rawDial(t, srv.Addr())
+	conn.Write([]byte{0xff, 0xff, 0xff, 0xff}) // 4 GiB frame claim
+	assertServerAlive(t, srv)
+}
+
+func TestServerSurvivesTruncatedFrame(t *testing.T) {
+	srv, _, _, _ := startServer(t)
+	conn := rawDial(t, srv.Addr())
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1000)
+	conn.Write(hdr[:])
+	conn.Write([]byte("short")) // never send the rest
+	conn.Close()
+	assertServerAlive(t, srv)
+}
+
+func TestServerSurvivesImmediateDisconnect(t *testing.T) {
+	srv, _, _, _ := startServer(t)
+	for i := 0; i < 20; i++ {
+		conn := rawDial(t, srv.Addr())
+		conn.Close()
+	}
+	assertServerAlive(t, srv)
+}
+
+func TestClientTimeoutOnSilentServer(t *testing.T) {
+	// A listener that accepts but never answers.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			// Swallow input, never reply.
+		}
+	}()
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.Timeout = 200 * time.Millisecond
+	start := time.Now()
+	err = cl.InsertEntry("t", p4ir.Entry{Action: "a"})
+	if err == nil {
+		t.Fatal("call against a silent server must fail")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v, want ~200ms", elapsed)
+	}
+}
+
+func TestClientRejectsMismatchedResponseID(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		var req Request
+		if err := readFrame(c, &req); err != nil {
+			return
+		}
+		writeFrame(c, &Response{ID: req.ID + 99, OK: true})
+	}()
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err == nil {
+		t.Fatal("mismatched response id must be rejected")
+	}
+}

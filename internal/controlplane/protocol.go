@@ -1,0 +1,113 @@
+// Package controlplane provides the network control plane of the system:
+// a TCP server exposing the Pipeleon runtime's program-management API
+// (table entry insert/delete/modify, counter reads, program reads) and a
+// matching client. It plays the role P4Runtime gRPC plays for real
+// SmartNICs, using a length-prefixed JSON framing over stdlib net so the
+// module stays dependency-free.
+//
+// The optimizer's API-mapping guarantee (§2.3) lives below this layer, in
+// core.Runtime: clients always address tables of the *original* program,
+// regardless of how Pipeleon has currently rewritten the layout.
+package controlplane
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pipeleon/internal/p4ir"
+)
+
+// Op identifies a request type.
+type Op string
+
+// Supported operations.
+const (
+	OpInsert   Op = "insert"
+	OpDelete   Op = "delete"
+	OpModify   Op = "modify"
+	OpCounters Op = "counters"
+	OpProgram  Op = "program"
+	OpStats    Op = "stats"
+	OpPing     Op = "ping"
+)
+
+// Request is one control-plane call.
+type Request struct {
+	ID    uint64 `json:"id"`
+	Op    Op     `json:"op"`
+	Table string `json:"table,omitempty"`
+	// Entry is used by insert.
+	Entry *WireEntry `json:"entry,omitempty"`
+	// Match identifies entries for delete/modify.
+	Match []p4ir.MatchValue `json:"match,omitempty"`
+	// Action/Args are used by modify.
+	Action string   `json:"action,omitempty"`
+	Args   []string `json:"args,omitempty"`
+}
+
+// WireEntry is the wire form of a table entry.
+type WireEntry struct {
+	Priority int               `json:"priority,omitempty"`
+	Match    []p4ir.MatchValue `json:"match"`
+	Action   string            `json:"action"`
+	Args     []string          `json:"args,omitempty"`
+}
+
+// ToEntry converts to the IR form.
+func (w *WireEntry) ToEntry() p4ir.Entry {
+	return p4ir.Entry{Priority: w.Priority, Match: w.Match, Action: w.Action, Args: w.Args}
+}
+
+// FromEntry converts from the IR form.
+func FromEntry(e p4ir.Entry) *WireEntry {
+	return &WireEntry{Priority: e.Priority, Match: e.Match, Action: e.Action, Args: e.Args}
+}
+
+// Response answers one request.
+type Response struct {
+	ID    uint64          `json:"id"`
+	OK    bool            `json:"ok"`
+	Error string          `json:"error,omitempty"`
+	Data  json.RawMessage `json:"data,omitempty"`
+}
+
+// maxFrame bounds a single message (16 MiB) to fail fast on framing
+// corruption.
+const maxFrame = 16 << 20
+
+// writeFrame writes a length-prefixed JSON message.
+func writeFrame(w io.Writer, v interface{}) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(data) > maxFrame {
+		return fmt.Errorf("controlplane: frame too large (%d bytes)", len(data))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// readFrame reads one length-prefixed JSON message into v.
+func readFrame(r io.Reader, v interface{}) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("controlplane: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	return json.Unmarshal(buf, v)
+}

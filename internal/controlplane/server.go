@@ -1,0 +1,166 @@
+package controlplane
+
+import (
+	"encoding/json"
+	"errors"
+	"log"
+	"net"
+	"sync"
+
+	"pipeleon/internal/p4ir"
+	"pipeleon/internal/profile"
+)
+
+// Backend is the surface the server drives — satisfied by *core.Runtime.
+type Backend interface {
+	InsertEntry(table string, e p4ir.Entry) error
+	DeleteEntry(table string, match []p4ir.MatchValue) error
+	ModifyEntry(table string, match []p4ir.MatchValue, action string, args []string) error
+	Current() *p4ir.Program
+}
+
+// Server serves the control protocol over TCP.
+type Server struct {
+	backend   Backend
+	collector *profile.Collector // optional, for OpCounters
+	ln        net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer starts a server on addr (e.g. "127.0.0.1:0"). The collector
+// may be nil, disabling OpCounters.
+func NewServer(addr string, backend Backend, collector *profile.Collector) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{backend: backend, collector: collector, ln: ln, conns: map[net.Conn]struct{}{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and closes every connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		var req Request
+		if err := readFrame(conn, &req); err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				// EOF on client close is the normal shutdown path.
+			}
+			return
+		}
+		resp := s.handle(&req)
+		if err := writeFrame(conn, resp); err != nil {
+			log.Printf("controlplane: write: %v", err)
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req *Request) *Response {
+	resp := &Response{ID: req.ID, OK: true}
+	fail := func(err error) *Response {
+		resp.OK = false
+		resp.Error = err.Error()
+		return resp
+	}
+	switch req.Op {
+	case OpPing:
+	case OpInsert:
+		if req.Entry == nil {
+			return fail(errors.New("insert requires an entry"))
+		}
+		if err := s.backend.InsertEntry(req.Table, req.Entry.ToEntry()); err != nil {
+			return fail(err)
+		}
+	case OpDelete:
+		if err := s.backend.DeleteEntry(req.Table, req.Match); err != nil {
+			return fail(err)
+		}
+	case OpModify:
+		if err := s.backend.ModifyEntry(req.Table, req.Match, req.Action, req.Args); err != nil {
+			return fail(err)
+		}
+	case OpProgram:
+		data, err := s.backend.Current().MarshalJSON()
+		if err != nil {
+			return fail(err)
+		}
+		resp.Data = data
+	case OpCounters:
+		// Prefer counters translated back to the original program's
+		// tables (the management-API view); fall back to the raw
+		// collector.
+		var snap *profile.Profile
+		if tr, ok := s.backend.(interface{ TranslatedCounters() *profile.Profile }); ok {
+			snap = tr.TranslatedCounters()
+		} else if s.collector != nil {
+			snap = s.collector.Snapshot()
+		} else {
+			return fail(errors.New("counters unavailable"))
+		}
+		data, err := json.Marshal(snap)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Data = data
+	case OpStats:
+		data, err := json.Marshal(map[string]any{"ok": true})
+		if err != nil {
+			return fail(err)
+		}
+		resp.Data = data
+	default:
+		return fail(errors.New("unknown op " + string(req.Op)))
+	}
+	return resp
+}

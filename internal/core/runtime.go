@@ -1,0 +1,335 @@
+// Package core implements the Pipeleon runtime (§2.3, Figure 3): it
+// instruments a P4 program with counters, collects runtime profiles from
+// the target in windows, translates counters from the optimized layout
+// back to the original program through the counter map, detects the top-k
+// hot pipelets, searches for the best optimization plan, deploys the
+// rewritten program to the SmartNIC, and keeps the same program-management
+// APIs working by mapping entry operations onto the optimized layout.
+//
+// The loop is feedback-driven: observed cache hit rates and entry-update
+// rates flow into the next round's cost estimates, so an optimization that
+// stops paying off (a cache invalidated by a burst of insertions, a merge
+// whose tables started churning) is removed or replaced on the next round
+// — the §3.2.2/§3.2.3 "monitors its actual performance at runtime"
+// behaviour that drives Figure 11.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pipeleon/internal/costmodel"
+	"pipeleon/internal/nicsim"
+	"pipeleon/internal/opt"
+	"pipeleon/internal/p4ir"
+	"pipeleon/internal/pipelet"
+	"pipeleon/internal/profile"
+)
+
+// Runtime is one Pipeleon control loop bound to a NIC.
+type Runtime struct {
+	mu sync.Mutex
+
+	orig      *p4ir.Program
+	nic       *nicsim.NIC
+	collector *profile.Collector
+	pm        costmodel.Params
+	cfg       opt.Config
+
+	current    *p4ir.Program
+	cmap       *opt.CounterMap
+	activePlan []*opt.Option
+
+	lastUpdateCounts map[string]uint64
+	// updCountsOrig accumulates entry-update operations keyed by
+	// original-program table names (through the API mapping).
+	updCountsOrig     map[string]uint64
+	lastUpdCountsOrig map[string]uint64
+
+	round     int
+	history   []RoundReport
+	lastCosts map[string]float64
+}
+
+// RoundReport summarizes one optimization round.
+type RoundReport struct {
+	Round int
+	// Deployed is true when a new program was swapped in.
+	Deployed bool
+	// PlanSize is the number of options in the chosen plan.
+	PlanSize int
+	// Gain is the plan's estimated latency reduction (ns).
+	Gain float64
+	// ActivePlanGain is the re-scored gain of the already-deployed plan
+	// under this round's profile (0 when none was active).
+	ActivePlanGain float64
+	// BaselineLatency is the modeled latency of the original program
+	// under this round's profile.
+	BaselineLatency float64
+	// SearchTime is the wall-clock optimization time.
+	SearchTime time.Duration
+	// Plan describes the chosen options.
+	Plan []string
+	// HitRateFeedback lists span -> observed hit rate fed into estimates.
+	HitRateFeedback map[string]float64
+	// SkippedUnchanged is true when the round was skipped because no
+	// pipelet's cost moved past Options.ProfileChangeThreshold.
+	SkippedUnchanged bool
+}
+
+// NewRuntime builds a runtime for the given original program, deploying it
+// unmodified to the NIC. The collector must be the one the NIC was
+// configured with (Config.Collector), so the runtime sees the counters the
+// data path records.
+func NewRuntime(orig *p4ir.Program, nic *nicsim.NIC, collector *profile.Collector, pm costmodel.Params, cfg opt.Config) (*Runtime, error) {
+	if err := orig.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.HitRateOverride == nil {
+		cfg.HitRateOverride = map[string]float64{}
+	}
+	r := &Runtime{
+		orig:              orig.Clone(),
+		nic:               nic,
+		collector:         collector,
+		pm:                pm,
+		cfg:               cfg,
+		current:           orig.Clone(),
+		cmap:              opt.NewCounterMap(),
+		lastUpdateCounts:  map[string]uint64{},
+		updCountsOrig:     map[string]uint64{},
+		lastUpdCountsOrig: map[string]uint64{},
+	}
+	if err := nic.Swap(r.current); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Current returns the currently deployed program.
+func (r *Runtime) Current() *p4ir.Program {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.current
+}
+
+// Original returns the original (un-optimized) program.
+func (r *Runtime) Original() *p4ir.Program { return r.orig }
+
+// TranslatedCounters returns the current window's counters expressed
+// against the ORIGINAL program's tables and actions, whatever layout is
+// deployed — the read-side half of the management-API mapping. The
+// collector is not reset.
+func (r *Runtime) TranslatedCounters() *profile.Profile {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cmap.Translate(r.collector.Snapshot(), r.orig)
+}
+
+// History returns the reports of all completed rounds.
+func (r *Runtime) History() []RoundReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]RoundReport(nil), r.history...)
+}
+
+// OptimizeOnce runs one optimization round over the profile collected in
+// the last window of the given duration (used to turn update counts into
+// rates). It snapshots and resets the collector, so each round sees only
+// the most recent window — "Pipeleon constantly monitors the profile; when
+// it varies, a new round of optimization will be triggered".
+func (r *Runtime) OptimizeOnce(window time.Duration) (RoundReport, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.round++
+	report := RoundReport{Round: r.round, HitRateFeedback: map[string]float64{}}
+
+	optProf := r.collector.Snapshot()
+	r.collector.Reset()
+
+	// Entry-update rates: delta of data-plane update counts over the
+	// window, attributed to original table names via the API mapping's
+	// own accounting (updCountsOrig).
+	secs := window.Seconds()
+	if secs <= 0 {
+		secs = 1
+	}
+	for table, cnt := range r.updCountsOrig {
+		delta := cnt - r.lastUpdCountsOrig[table]
+		optProf.UpdateRates[table] = float64(delta) / secs
+		r.lastUpdCountsOrig[table] = cnt
+	}
+
+	// Hit-rate feedback: observed rates of deployed caches override the
+	// default estimate for the same span next round.
+	for _, cs := range r.nic.CacheStatsAll() {
+		if spec, ok := r.current.Tables[cs.Table]; ok {
+			if meta, isCache := spec.CacheMeta(); isCache {
+				if rate, any := cs.HitRate(); any {
+					key := opt.SpanKey(meta.Covers)
+					r.cfg.HitRateOverride[key] = rate
+					report.HitRateFeedback[key] = rate
+				}
+			}
+		}
+	}
+
+	// Translate counters to the original program.
+	origProf := r.cmap.Translate(optProf, r.orig)
+	// Update rates were keyed by original names already.
+	for t, rate := range optProf.UpdateRates {
+		origProf.UpdateRates[t] = rate
+	}
+
+	// Change detection (§2.3): re-optimize only when the profile
+	// signature moved materially since the last round.
+	newCosts := r.profileSignature(origProf)
+	if r.cfg.ProfileChangeThreshold > 0 && r.lastCosts != nil {
+		if !costsChanged(r.lastCosts, newCosts, r.cfg.ProfileChangeThreshold) {
+			report.SkippedUnchanged = true
+			r.lastCosts = newCosts
+			r.history = append(r.history, report)
+			return report, nil
+		}
+	}
+	r.lastCosts = newCosts
+
+	res, rw, err := opt.SearchAndApply(r.orig, origProf, r.pm, r.cfg)
+	if err != nil {
+		return report, err
+	}
+	report.SearchTime = res.Elapsed
+	report.BaselineLatency = res.BaselineLatency
+	report.Gain = res.Gain
+	report.PlanSize = len(res.Plan)
+	for _, o := range res.Plan {
+		report.Plan = append(report.Plan, o.String())
+	}
+
+	next := r.orig
+	nextMap := opt.NewCounterMap()
+	nextPlan := res.Plan
+	if rw != nil {
+		next = rw.Program
+		nextMap = rw.Map
+	} else {
+		nextPlan = nil
+	}
+	// Hysteresis: reconfigure only when the new plan beats the active
+	// plan (re-scored under the fresh profile) by RedeployMargin —
+	// otherwise keep the deployed layout and its warm caches.
+	if len(r.activePlan) > 0 && rw != nil {
+		curGain := opt.ReScore(r.orig, origProf, r.pm, r.cfg, r.activePlan)
+		report.ActivePlanGain = curGain
+		if curGain > 0 && res.Gain < curGain*(1+r.cfg.RedeployMargin) {
+			r.history = append(r.history, report)
+			return report, nil
+		}
+	}
+	// Deploy only when the layout actually changed.
+	if !samePrograms(next, r.current) {
+		if err := r.nic.Swap(next); err != nil {
+			return report, fmt.Errorf("core: deploy failed: %w", err)
+		}
+		r.current = next.Clone()
+		r.cmap = nextMap
+		r.activePlan = nextPlan
+		report.Deployed = true
+	} else {
+		// Layout unchanged; refresh map/plan so entry ops stay mapped.
+		if rw != nil {
+			r.cmap = nextMap
+			r.activePlan = nextPlan
+		}
+	}
+	r.history = append(r.history, report)
+	return report, nil
+}
+
+// profileSignature summarizes everything that should trigger a new
+// optimization round when it moves: per-pipelet weighted costs, per-table
+// drop rates (a drop flip at the last table changes no upstream cost but
+// changes the best order), observed cache hit rates, and entry-update
+// rates.
+func (r *Runtime) profileSignature(prof *profile.Profile) map[string]float64 {
+	out := map[string]float64{}
+	part, err := pipelet.Form(r.orig, r.cfg.MaxPipeletLen)
+	if err == nil {
+		for _, c := range pipelet.RankByCost(r.orig, prof, r.pm, part) {
+			out["cost:"+c.Pipelet.Head()] = c.Weighted
+		}
+	}
+	for name, t := range r.orig.Tables {
+		if t.HasDropAction() {
+			if d := prof.DropProb(t); d > 0 {
+				out["drop:"+name] = d
+			}
+		}
+	}
+	for span, rate := range r.cfg.HitRateOverride {
+		if rate > 0 {
+			out["hit:"+span] = rate
+		}
+	}
+	for table, rate := range prof.UpdateRates {
+		if rate > 0 {
+			out["upd:"+table] = rate
+		}
+	}
+	return out
+}
+
+// costsChanged reports whether any pipelet cost moved by more than the
+// relative threshold (new pipelets or disappearing costs always count).
+func costsChanged(old, new map[string]float64, threshold float64) bool {
+	for k, nv := range new {
+		ov, ok := old[k]
+		if !ok {
+			if nv > 0 {
+				return true
+			}
+			continue
+		}
+		base := ov
+		if nv > base {
+			base = nv
+		}
+		if base == 0 {
+			continue
+		}
+		if diff := nv - ov; diff > base*threshold || -diff > base*threshold {
+			return true
+		}
+	}
+	for k := range old {
+		if _, ok := new[k]; !ok {
+			return true
+		}
+	}
+	return false
+}
+
+func samePrograms(a, b *p4ir.Program) bool {
+	ja, err1 := a.MarshalJSON()
+	jb, err2 := b.MarshalJSON()
+	if err1 != nil || err2 != nil {
+		return false
+	}
+	return string(ja) == string(jb)
+}
+
+// Run executes rounds until stop is closed, one per interval. It is the
+// long-running form of the loop in Figure 3.
+func (r *Runtime) Run(interval time.Duration, stop <-chan struct{}) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			_, _ = r.OptimizeOnce(interval)
+		}
+	}
+}

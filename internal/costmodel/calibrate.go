@@ -1,0 +1,121 @@
+package costmodel
+
+import (
+	"fmt"
+
+	"pipeleon/internal/stats"
+)
+
+// Observation is one benchmark data point used for calibration: a program
+// characterized by its table count / primitive count and the average
+// per-packet latency measured on the target.
+type Observation struct {
+	// X is the swept program parameter (number of exact tables, or number
+	// of action primitives).
+	X float64
+	// LatencyNs is the measured average per-packet latency. The paper
+	// measures maximum throughput with TRex and uses its reciprocal as the
+	// approximate average latency, "since the cost model estimates
+	// relative latency differences across optimization options".
+	LatencyNs float64
+}
+
+// Calibration is the result of fitting the cost-model constants from
+// benchmark suites (§3.1 "Methodology and results").
+type Calibration struct {
+	// Lmat is the fitted per-memory-access latency (slope of the
+	// exact-table sweep: Y1 = A1*x + B1, A1 = Lmat).
+	Lmat float64
+	// Lact is the fitted per-primitive latency (slope of the primitive
+	// sweep: Y2 = A2*y + B2, A2 = Lact).
+	Lact float64
+	// LPMM and TernaryM are the estimated m values for LPM and ternary
+	// tables, from normalizing their observed latency against the
+	// exact-match baseline.
+	LPMM     float64
+	TernaryM float64
+	// FitLmatR2 / FitLactR2 report regression quality.
+	FitLmatR2 float64
+	FitLactR2 float64
+}
+
+// Calibrate fits Lmat and Lact by linear regression over two benchmark
+// sweeps and estimates m for LPM/ternary tables by normalizing against the
+// exact baseline.
+//
+// exactSweep varies the number of exact tables (fixed actions); each added
+// table adds Lmat + const action cost, so the slope recovers Lmat plus the
+// per-table action cost actLatPerTable, which the caller supplies (it
+// knows the fixed action shape of the suite). primSweep varies the number
+// of primitives at a fixed table count; the slope recovers Lact directly
+// (paper: A2 corresponds to Lact; here the whole program shares the swept
+// action so the slope is nTables*Lact, normalized by nTables).
+func Calibrate(exactSweep, primSweep []Observation, actLatPerTable float64, primSweepTables int,
+	lpmObs, ternObs, exactBaseline []Observation) (Calibration, error) {
+	var cal Calibration
+	fit1, err := regress(exactSweep)
+	if err != nil {
+		return cal, fmt.Errorf("costmodel: exact sweep: %w", err)
+	}
+	cal.Lmat = fit1.Slope - actLatPerTable
+	cal.FitLmatR2 = fit1.R2
+
+	fit2, err := regress(primSweep)
+	if err != nil {
+		return cal, fmt.Errorf("costmodel: primitive sweep: %w", err)
+	}
+	n := float64(primSweepTables)
+	if n < 1 {
+		n = 1
+	}
+	cal.Lact = fit2.Slope / n
+	cal.FitLactR2 = fit2.R2
+
+	// Estimate m for LPM/ternary by comparing per-table latency slopes
+	// against the exact baseline slope (§3.1: "we then estimate m by
+	// normalizing the observed packet performance using the performance
+	// of exact match tables as the baseline").
+	if len(lpmObs) >= 2 && len(exactBaseline) >= 2 {
+		fe, err1 := regress(exactBaseline)
+		fl, err2 := regress(lpmObs)
+		if err1 == nil && err2 == nil && fe.Slope > 0 {
+			matchSlope := fe.Slope - actLatPerTable
+			if matchSlope > 0 {
+				cal.LPMM = (fl.Slope - actLatPerTable) / matchSlope
+			}
+		}
+	}
+	if len(ternObs) >= 2 && len(exactBaseline) >= 2 {
+		fe, err1 := regress(exactBaseline)
+		ft, err2 := regress(ternObs)
+		if err1 == nil && err2 == nil && fe.Slope > 0 {
+			matchSlope := fe.Slope - actLatPerTable
+			if matchSlope > 0 {
+				cal.TernaryM = (ft.Slope - actLatPerTable) / matchSlope
+			}
+		}
+	}
+	return cal, nil
+}
+
+func regress(obs []Observation) (stats.LinearFit, error) {
+	xs := make([]float64, len(obs))
+	ys := make([]float64, len(obs))
+	for i, o := range obs {
+		xs[i] = o.X
+		ys[i] = o.LatencyNs
+	}
+	return stats.LinearRegression(xs, ys)
+}
+
+// Apply overwrites the latency constants of a Params with calibrated
+// values, returning the updated copy.
+func (c Calibration) Apply(pm Params) Params {
+	if c.Lmat > 0 {
+		pm.Lmat = c.Lmat
+	}
+	if c.Lact > 0 {
+		pm.Lact = c.Lact
+	}
+	return pm
+}

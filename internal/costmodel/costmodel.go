@@ -1,0 +1,323 @@
+// Package costmodel implements the approximate P4 performance model of
+// paper §3.1.
+//
+// A program is a DAG G; any packet traverses exactly one root-to-sink path
+// π. Expected program latency is
+//
+//	L(G) = Σ_π P(π) · L(π)                        (Equation 1)
+//
+// with L(π) = Σ L(v_i) over the nodes on the path and P(π) the cumulative
+// product of edge probabilities. Per node,
+//
+//	L(v)       = Lmatch(v) + Laction(v)           (Equation 3)
+//	Lmatch(v)  = m_v · Lmat                       (Equation 4a)
+//	Laction(v) = Σ_a P(a) · n_a · Lact            (Equation 4b)
+//
+// where m_v is the number of memory accesses the key match costs (1 for
+// exact; the number of distinct prefix lengths / masks for LPM / ternary),
+// n_a the primitive count of action a, and Lmat/Lact constants extracted
+// per target by benchmarking plus linear regression.
+//
+// Two evaluation strategies are provided and property-tested equivalent:
+// ExpectedLatency propagates reach probabilities over the DAG in O(V+E),
+// while EnumeratePaths expands every execution path (exponential; only for
+// small graphs, used for validation and per-path reporting).
+package costmodel
+
+import (
+	"fmt"
+	"math"
+
+	"pipeleon/internal/p4ir"
+	"pipeleon/internal/profile"
+)
+
+// Params is the per-target parameter set of the cost model. Latencies are
+// in nanoseconds.
+type Params struct {
+	// Name identifies the target (for reports).
+	Name string
+	// Lmat is the latency of one memory access — one exact-match probe.
+	Lmat float64
+	// Lact is the latency of one action primitive.
+	Lact float64
+	// BranchFactor is the cost of a conditional as a fraction of one
+	// exact-match probe. The paper's emulated NIC uses 1/10 (§5.3.3);
+	// hardware models round it down to ~0.
+	BranchFactor float64
+	// LPMFixedM / TernaryFixedM, when non-zero, override the entry-derived
+	// m for LPM / ternary tables. The §5.3.3 emulated NIC model sets both
+	// to 3 ("LPM and ternary matches have the same cost, which is 3x
+	// slower than exact matches").
+	LPMFixedM     int
+	TernaryFixedM int
+	// CounterUpdate is the latency of one profiling counter increment
+	// (§5.4.1). Applied per instrumented node a packet traverses.
+	CounterUpdate float64
+	// MigrationLatency is the one-way packet migration cost between the
+	// ASIC and CPU pipelines of a heterogeneous target (§3.2.4).
+	MigrationLatency float64
+	// Cores is the number of run-to-completion processing cores.
+	Cores int
+	// LineRateGbps caps achievable throughput.
+	LineRateGbps float64
+	// CPUSlowdown scales node latencies for tables executed on the CPU
+	// pipeline of a heterogeneous target (1 = ASIC speed).
+	CPUSlowdown float64
+	// SRAMFactor scales the per-probe latency of tables pinned to the
+	// SRAM tier (hierarchical memory, the paper's §6 extension).
+	// 0 disables the feature (every table pays full Lmat); a typical
+	// enabled value is 0.4. SRAMBytes is the fast-memory capacity the
+	// tier planner may spend.
+	SRAMFactor float64
+	SRAMBytes  int
+}
+
+// BlueField2 returns parameters approximating Nvidia BlueField2: dRMT ASIC
+// cores fetching match-action entries over a memory bus, 2x100 Gb/s ports
+// (one used in the paper's back-to-back setup). Counter updates on
+// BlueField2 are cheap ("even without sampling, the maximum throughput
+// degradation is only 2.0%", §5.4.1).
+func BlueField2() Params {
+	return Params{
+		Name:          "bluefield2",
+		Lmat:          25,
+		Lact:          5,
+		BranchFactor:  0.04,
+		CounterUpdate: 0.5,
+		Cores:         16,
+		LineRateGbps:  100,
+		CPUSlowdown:   4,
+		// Migration between ASIC and ARM cores crosses the NIC fabric.
+		MigrationLatency: 600,
+	}
+}
+
+// AgilioCX returns parameters approximating Netronome Agilio CX: SoC
+// micro-engine CPU cores with entries in external memory, 1x40 Gb/s.
+// Counter updates are comparatively expensive (§5.4.1 reports up to ~35%
+// latency overhead at 40 unsampled per-packet updates).
+func AgilioCX() Params {
+	return Params{
+		Name:          "agiliocx",
+		Lmat:          60,
+		Lact:          12,
+		BranchFactor:  0.08,
+		CounterUpdate: 14,
+		Cores:         20,
+		LineRateGbps:  40,
+		CPUSlowdown:   1,
+		// Homogeneous CPU target: no ASIC/CPU migration.
+		MigrationLatency: 0,
+	}
+}
+
+// EmulatedNIC returns the §5.3.3 BMv2-emulator NIC model: "LPM and ternary
+// matches have the same cost, which is 3x slower than exact matches;
+// conditional branches have 1/10 the cost of an exact table."
+func EmulatedNIC() Params {
+	return Params{
+		Name:             "emulated",
+		Lmat:             30,
+		Lact:             6,
+		BranchFactor:     0.1,
+		LPMFixedM:        3,
+		TernaryFixedM:    3,
+		CounterUpdate:    1,
+		Cores:            4,
+		LineRateGbps:     100,
+		CPUSlowdown:      5,
+		MigrationLatency: 400,
+	}
+}
+
+// MatchComplexity returns m for a table under this target, honoring the
+// fixed-m overrides of emulated NIC models.
+func (pm Params) MatchComplexity(t *p4ir.Table) int {
+	switch t.WidestMatchKind() {
+	case p4ir.MatchLPM:
+		if pm.LPMFixedM > 0 {
+			return pm.LPMFixedM
+		}
+	case p4ir.MatchTernary, p4ir.MatchRange:
+		if pm.TernaryFixedM > 0 {
+			return pm.TernaryFixedM
+		}
+	}
+	return t.MatchComplexity()
+}
+
+// TierFactor returns the probe-latency multiplier for the table's memory
+// tier: SRAMFactor for SRAM-pinned tables when the target supports tiers,
+// 1 otherwise.
+func (pm Params) TierFactor(t *p4ir.Table) float64 {
+	if pm.SRAMFactor > 0 && t.MemTier() == p4ir.TierSRAM {
+		return pm.SRAMFactor
+	}
+	return 1
+}
+
+// TableLatency evaluates Equation 3 for one table given its action
+// probabilities, honoring the table's memory tier.
+func (pm Params) TableLatency(t *p4ir.Table, actionProb map[string]float64) float64 {
+	match := float64(pm.MatchComplexity(t)) * pm.Lmat * pm.TierFactor(t)
+	var action float64
+	for _, a := range t.Actions {
+		action += actionProb[a.Name] * float64(a.NumPrimitives()) * pm.Lact
+	}
+	return match + action
+}
+
+// CondLatency is the (small) cost of evaluating a conditional branch.
+func (pm Params) CondLatency() float64 { return pm.BranchFactor * pm.Lmat }
+
+// NodeLatency returns the latency of any named node under the profile.
+func (pm Params) NodeLatency(prog *p4ir.Program, prof *profile.Profile, name string) float64 {
+	if t, c := prog.Node(name); t != nil {
+		return pm.TableLatency(t, prof.ActionProb(t))
+	} else if c != nil {
+		return pm.CondLatency()
+	}
+	return 0
+}
+
+// ExpectedLatency computes L(G) (Equation 1) by propagating reach
+// probabilities: E[L] = Σ_v P(reach v) · L(v), which equals the
+// path-enumeration sum because path probabilities factor over edges.
+func ExpectedLatency(prog *p4ir.Program, prof *profile.Profile, pm Params) float64 {
+	reach := prof.ReachProbs(prog)
+	var total float64
+	for name, p := range reach {
+		total += p * pm.NodeLatency(prog, prof, name)
+	}
+	return total
+}
+
+// SubgraphLatency computes the expected latency contributed by a subset of
+// nodes (a pipelet), i.e. Σ_{v∈nodes} P(reach v)·L(v). Dividing by the
+// pipelet's entry probability gives the conditional latency L(G'); this
+// weighted form is directly the L(G')·P(G') of §4.1.2 used for hot-pipelet
+// ranking.
+func SubgraphLatency(prog *p4ir.Program, prof *profile.Profile, pm Params, nodes []string) float64 {
+	reach := prof.ReachProbs(prog)
+	var total float64
+	for _, name := range nodes {
+		total += reach[name] * pm.NodeLatency(prog, prof, name)
+	}
+	return total
+}
+
+// WeightedPath is one execution path with its probability and latency.
+type WeightedPath struct {
+	Nodes   []string
+	Prob    float64
+	Latency float64
+}
+
+// MaxEnumerationPaths bounds EnumeratePaths output to keep validation
+// tractable; programs beyond it should use ExpectedLatency.
+const MaxEnumerationPaths = 1 << 16
+
+// EnumeratePaths expands every root-to-termination execution path with its
+// probability and latency. Paths terminate at the sink or at a dropping
+// action. Per the paper footnote, a switch-case table contributes only the
+// cost of the action leading to the current path, which the expansion
+// handles naturally by splitting per action.
+func EnumeratePaths(prog *p4ir.Program, prof *profile.Profile, pm Params) ([]WeightedPath, error) {
+	var out []WeightedPath
+	var walk func(name string, nodes []string, prob, lat float64) error
+	walk = func(name string, nodes []string, prob, lat float64) error {
+		if prob == 0 {
+			return nil
+		}
+		if name == "" {
+			out = append(out, WeightedPath{Nodes: append([]string(nil), nodes...), Prob: prob, Latency: lat})
+			if len(out) > MaxEnumerationPaths {
+				return fmt.Errorf("costmodel: more than %d paths", MaxEnumerationPaths)
+			}
+			return nil
+		}
+		t, c := prog.Node(name)
+		nodes = append(nodes, name)
+		switch {
+		case t != nil:
+			probs := prof.ActionProb(t)
+			match := float64(pm.MatchComplexity(t)) * pm.Lmat
+			for _, a := range t.Actions {
+				pa := probs[a.Name]
+				if pa == 0 {
+					continue
+				}
+				actLat := float64(a.NumPrimitives()) * pm.Lact
+				nextLat := lat + match + actLat
+				if a.Drops() {
+					// Drop terminates the path here.
+					out = append(out, WeightedPath{Nodes: append([]string(nil), nodes...), Prob: prob * pa, Latency: nextLat})
+					if len(out) > MaxEnumerationPaths {
+						return fmt.Errorf("costmodel: more than %d paths", MaxEnumerationPaths)
+					}
+					continue
+				}
+				if err := walk(t.NextFor(a.Name), nodes, prob*pa, nextLat); err != nil {
+					return err
+				}
+			}
+		case c != nil:
+			pt := prof.BranchProb(name)
+			l := lat + pm.CondLatency()
+			if err := walk(c.TrueNext, nodes, prob*pt, l); err != nil {
+				return err
+			}
+			if err := walk(c.FalseNext, nodes, prob*(1-pt), l); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("costmodel: missing node %q", name)
+		}
+		return nil
+	}
+	if err := walk(prog.Root, nil, 1, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ExpectedFromPaths sums P(π)·L(π) over enumerated paths — the literal
+// Equation 1, used to cross-check ExpectedLatency.
+func ExpectedFromPaths(paths []WeightedPath) float64 {
+	var total float64
+	for _, p := range paths {
+		total += p.Prob * p.Latency
+	}
+	return total
+}
+
+// ThroughputGbps converts a per-packet latency into aggregate throughput:
+// Cores packets in flight, one per run-to-completion core, capped at line
+// rate. packetBytes is the wire size (the paper uses 512 B everywhere).
+func (pm Params) ThroughputGbps(latencyNs float64, packetBytes int) float64 {
+	if latencyNs <= 0 {
+		return pm.LineRateGbps
+	}
+	pps := float64(pm.Cores) * 1e9 / latencyNs
+	gbps := pps * float64(packetBytes) * 8 / 1e9
+	return math.Min(gbps, pm.LineRateGbps)
+}
+
+// LatencyFloorNs returns the per-packet latency at which the target first
+// saturates its line rate for the given packet size. Below this latency,
+// throughput is constant at line rate — the "achieves the line rate"
+// plateaus in Figures 9a-9c.
+func (pm Params) LatencyFloorNs(packetBytes int) float64 {
+	return float64(pm.Cores) * float64(packetBytes) * 8 / pm.LineRateGbps
+}
+
+// ProgramMemoryBytes estimates the memory consumption of all tables (§4):
+// entry bytes scaled by m for multi-hash-table match kinds.
+func ProgramMemoryBytes(prog *p4ir.Program, pm Params) int {
+	total := 0
+	for _, t := range prog.Tables {
+		total += len(t.Entries) * t.EntryBytes() * pm.MatchComplexity(t)
+	}
+	return total
+}

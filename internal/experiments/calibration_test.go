@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"pipeleon/internal/costmodel"
+	"pipeleon/internal/nicsim"
+	"pipeleon/internal/p4ir"
+	"pipeleon/internal/trafficgen"
+)
+
+// The §3.1 calibration methodology, closed end to end against the
+// emulator: run the benchmarking suite (programs sweeping exact-table
+// count, primitive count, LPM and ternary tables), measure average
+// latency, fit Lmat/Lact by linear regression and estimate m for
+// LPM/ternary — and recover the emulator's actual constants. This is how
+// the framework would be pointed at a new, undocumented SmartNIC.
+func TestCalibrationRecoversTargetConstants(t *testing.T) {
+	pm := costmodel.BlueField2()
+
+	// calibChain builds n exact tables whose DEFAULT action runs nPrims
+	// primitives, so every packet pays the action cost deterministically
+	// — the controlled suite the §3.1 methodology assumes.
+	calibChain := func(n, nPrims int) *p4ir.Program {
+		fields := []string{"ipv4.dstAddr", "ipv4.srcAddr", "tcp.sport", "tcp.dport"}
+		specs := make([]p4ir.TableSpec, n)
+		for i := 0; i < n; i++ {
+			var prims []p4ir.Primitive
+			for j := 0; j < nPrims; j++ {
+				prims = append(prims, p4ir.Prim("modify_field", fmt.Sprintf("meta.c%d_%d", i, j), "1"))
+			}
+			specs[i] = p4ir.TableSpec{
+				Name:    fmt.Sprintf("t%02d", i),
+				Keys:    []p4ir.Key{{Field: fields[i%len(fields)], Kind: p4ir.MatchExact, Width: 32}},
+				Actions: []*p4ir.Action{p4ir.NewAction("apply", prims...)},
+			}
+		}
+		prog, err := p4ir.ChainTables("calib", specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prog
+	}
+
+	measure := func(prog *p4ir.Program, seed uint64) float64 {
+		nic, err := nicsim.New(prog, nicsim.Config{Params: pm, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		flows := hitMissFlows(prog, seed+1, 200, 1.0)
+		gen := trafficgen.New(seed+2, 0)
+		gen.AddFlows(flows...)
+		return nic.Measure(gen.Batch(1500)).MeanLatencyNs
+	}
+
+	// Suite 1: exact tables, 2 primitives each.
+	var exactSweep []costmodel.Observation
+	for n := 10; n <= 40; n += 6 {
+		exactSweep = append(exactSweep, costmodel.Observation{
+			X: float64(n), LatencyNs: measure(calibChain(n, 2), uint64(n)),
+		})
+	}
+	// Suite 2: 20 exact tables, primitives swept.
+	const primTables = 20
+	var primSweep []costmodel.Observation
+	for p := 2; p <= 8; p += 2 {
+		primSweep = append(primSweep, costmodel.Observation{
+			X: float64(p), LatencyNs: measure(calibChain(primTables, p), uint64(100+p)),
+		})
+	}
+	// Suites 3/4: LPM and ternary table counts.
+	var lpmObs, ternObs []costmodel.Observation
+	for n := 10; n <= 16; n += 2 {
+		lpmObs = append(lpmObs, costmodel.Observation{
+			X: float64(n), LatencyNs: measure(kindChainProgram(n, "lpm"), uint64(200+n)),
+		})
+		ternObs = append(ternObs, costmodel.Observation{
+			X: float64(n), LatencyNs: measure(kindChainProgram(n, "ternary"), uint64(300+n)),
+		})
+	}
+
+	// The exact suite's fixed per-table action cost: the "apply" action
+	// has 2 primitives and all traffic hits.
+	actPerTable := 2 * pm.Lact
+	cal, err := costmodel.Calibrate(exactSweep, primSweep, actPerTable, primTables,
+		lpmObs, ternObs, exactSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within := func(got, want, tol float64) bool {
+		return math.Abs(got-want) <= tol*want
+	}
+	if !within(cal.Lmat, pm.Lmat, 0.1) {
+		t.Errorf("calibrated Lmat = %.2f, emulator uses %.2f", cal.Lmat, pm.Lmat)
+	}
+	if !within(cal.Lact, pm.Lact, 0.15) {
+		t.Errorf("calibrated Lact = %.2f, emulator uses %.2f", cal.Lact, pm.Lact)
+	}
+	// The benchmark suites install 3 distinct prefixes / 5 distinct
+	// masks (the paper's setup), so m should come back ≈3 and ≈5.
+	if !within(cal.LPMM, 3, 0.25) {
+		t.Errorf("calibrated LPM m = %.2f, want ~3", cal.LPMM)
+	}
+	if !within(cal.TernaryM, 5, 0.25) {
+		t.Errorf("calibrated ternary m = %.2f, want ~5", cal.TernaryM)
+	}
+	if cal.FitLmatR2 < 0.99 || cal.FitLactR2 < 0.99 {
+		t.Errorf("regression quality poor: R2 = %.4f / %.4f", cal.FitLmatR2, cal.FitLactR2)
+	}
+	// A model built purely from calibration predicts a held-out program
+	// within a few percent.
+	fitted := cal.Apply(costmodel.Params{
+		Name: "calibrated", BranchFactor: pm.BranchFactor,
+		Cores: pm.Cores, LineRateGbps: pm.LineRateGbps,
+	})
+	held := calibChain(25, 4)
+	prof := collectProfile(held, pm, hitMissFlows(held, 77, 200, 1.0), 78, 1500)
+	pred := costmodel.ExpectedLatency(held, prof, fitted)
+	meas := measure(held, 79)
+	if ratio := pred / meas; ratio < 0.92 || ratio > 1.08 {
+		t.Errorf("held-out prediction off by %.1f%% (pred %.1f, measured %.1f)",
+			(ratio-1)*100, pred, meas)
+	}
+}

@@ -1,0 +1,182 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5 and appendices) on the software SmartNIC emulator. Each
+// Fig* function returns a structured Result whose series mirror the
+// corresponding plot's axes; cmd/experiments renders them as text and the
+// root bench suite wraps each in a testing.B benchmark.
+//
+// Absolute numbers come from the emulator's calibrated cost parameters,
+// not the authors' testbed; what must (and does) reproduce is the shape:
+// who wins, by roughly what factor, and where the crossovers fall.
+// EXPERIMENTS.md records paper-vs-measured for every figure.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// RunOpts tunes experiment scale.
+type RunOpts struct {
+	// Quick shrinks sample counts for CI/bench runs; the full
+	// configuration matches the paper's scales where feasible.
+	Quick bool
+	// Seed offsets all randomness.
+	Seed uint64
+}
+
+// pick returns full or quick depending on opts.
+func (o RunOpts) pick(full, quick int) int {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// Series is one line/bar group of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Result is one regenerated figure.
+type Result struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// AddSeries appends a series.
+func (r *Result) AddSeries(name string, x, y []float64) {
+	r.Series = append(r.Series, Series{Name: name, X: x, Y: y})
+}
+
+// Note appends a free-form observation recorded with the figure.
+func (r *Result) Note(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the result as an aligned text table: one row per X value,
+// one column per series.
+func (r *Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	if len(r.Series) == 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	// Collect the union of X values in order of first appearance.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range r.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	header := []string{r.XLabel}
+	for _, s := range r.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range r.Series {
+			val := ""
+			for i, sx := range s.X {
+				if sx == x {
+					val = trimFloat(s.Y[i])
+					break
+				}
+			}
+			row = append(row, val)
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		var sb strings.Builder
+		for i, cell := range row {
+			fmt.Fprintf(&sb, "%-*s", widths[i]+2, cell)
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+		if ri == 0 {
+			fmt.Fprintln(w, strings.Repeat("-", len(strings.TrimRight(sb.String(), " "))))
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s (units: %s)\n", n, r.YLabel)
+	}
+	fmt.Fprintln(w)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// Runner is the registry entry for one figure.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(RunOpts) *Result
+}
+
+// All returns every figure runner in paper order.
+func All() []Runner {
+	return []Runner{
+		{"fig2", "Motivating: dynamic vs static ACL order (BlueField2 model)", Fig2},
+		{"fig5a", "Cost model validation: program length", Fig5a},
+		{"fig5b", "Cost model validation: action primitives", Fig5b},
+		{"fig5c", "Cost model validation: LPM tables", Fig5c},
+		{"fig5d", "Cost model validation: ternary tables", Fig5d},
+		{"fig9a", "Table reordering sweep (BlueField2 model)", Fig9a},
+		{"fig9b", "Table reordering sweep (Agilio CX model)", Fig9b},
+		{"fig9c", "Table caching options (both targets)", Fig9c},
+		{"fig9d", "Table merging options (both targets)", Fig9d},
+		{"fig10", "Synthesized programs: latency reduction by category", Fig10},
+		{"fig11a", "Runtime case study: load balancer (BlueField2 model)", Fig11a},
+		{"fig11b", "Runtime case study: DASH-style routing (Agilio CX model)", Fig11b},
+		{"fig11c", "Runtime case study: NF composition (emulated NIC)", Fig11c},
+		{"fig12a", "Profiling latency overhead (Agilio CX model)", Fig12a},
+		{"fig12b", "Profiling throughput overhead (Agilio CX model)", Fig12b},
+		{"fig12c", "Profiling throughput overhead (BlueField2 model)", Fig12c},
+		{"fig13", "Optimization speed vs top-k", Fig13},
+		{"fig14", "Top-k effectiveness vs ESearch", Fig14},
+		{"fig15", "Pipelet-group (cross-pipelet) optimization", Fig15},
+		{"fig17a", "Table copying vs migration latency (appendix A.2)", Fig17a},
+		{"fig17b", "Table copying vs software traffic ratio (appendix A.2)", Fig17b},
+		{"fig18", "Pipelet traffic distribution by entropy (appendix A.3)", Fig18},
+		{"fig19", "ESearch gain by traffic entropy (appendix A.3)", Fig19},
+	}
+}
+
+// Find returns the runner with the given id, or nil.
+func Find(id string) *Runner {
+	for _, r := range All() {
+		if r.ID == id {
+			rr := r
+			return &rr
+		}
+	}
+	return nil
+}

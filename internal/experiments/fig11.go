@@ -1,0 +1,429 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pipeleon/internal/core"
+	"pipeleon/internal/costmodel"
+	"pipeleon/internal/nicsim"
+	"pipeleon/internal/opt"
+	"pipeleon/internal/p4ir"
+	"pipeleon/internal/packet"
+	"pipeleon/internal/pipelet"
+	"pipeleon/internal/profile"
+	"pipeleon/internal/trafficgen"
+)
+
+// Figure 11: end-to-end runtime case studies (§5.3).
+
+// lbProgram builds the §5.3.1 service load balancer: eight regular packet
+// processing tables (ternary — the expensive part caching accelerates),
+// two exact load-balancing tables whose entries churn, and two ACLs.
+func lbProgram() *p4ir.Program {
+	var specs []p4ir.TableSpec
+	fields := []string{"ipv4.srcAddr", "ipv4.dstAddr", "tcp.sport", "tcp.dport"}
+	for i := 0; i < 8; i++ {
+		specs = append(specs, ternaryTable(fmt.Sprintf("proc%d", i), fields[i%len(fields)], 10, uint64(i)+1))
+	}
+	lb := func(name string) p4ir.TableSpec {
+		ts := p4ir.TableSpec{
+			Name: name,
+			Keys: []p4ir.Key{{Field: "ipv4.dstAddr", Kind: p4ir.MatchExact, Width: 32}},
+			Actions: []*p4ir.Action{
+				p4ir.NewAction("to_backend", p4ir.Prim("modify_field", "meta.backend", "$0")),
+				p4ir.NoopAction("pass"),
+			},
+			DefaultAction: "pass",
+		}
+		for i := 0; i < 32; i++ {
+			ts.Entries = append(ts.Entries, p4ir.Entry{
+				Match: []p4ir.MatchValue{{Value: uint64(0x0c000000 + i)}}, Action: "to_backend",
+				Args: []string{fmt.Sprint(i % 4)},
+			})
+		}
+		return ts
+	}
+	specs = append(specs, lb("lb1"), lb("lb2"))
+	specs = append(specs, aclTable("acl1", "tcp.sport", 7777), aclTable("acl2", "tcp.dport", 8888))
+	prog, err := p4ir.ChainTables("loadbalancer", specs)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// wholeCacheProgram applies a single whole-program cache — the fig11a
+// baseline ("caches the whole program without runtime adaptation").
+func wholeCacheProgram(prog *p4ir.Program, cfg opt.Config) *p4ir.Program {
+	n := prog.TableCount()
+	part, err := pipelet.Form(prog, n)
+	if err != nil {
+		panic(err)
+	}
+	p := part.Pipelets[0]
+	o := &opt.Option{
+		Kind: opt.OptPipelet, Pipelet: p,
+		Order:    append([]string(nil), p.Tables...),
+		Segments: []opt.Segment{{Kind: opt.SegCache, Start: 0, Len: p.Len()}},
+	}
+	rw, err := opt.Apply(prog, []*opt.Option{o}, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return rw.Program
+}
+
+// Fig11a: load balancer under an entry-insertion burst, then an ACL
+// dropping-rate change.
+func Fig11a(opts RunOpts) *Result {
+	res := &Result{
+		ID: "fig11a", Title: "load balancer: cache invalidation burst, then drop change",
+		XLabel: "time (s)", YLabel: "throughput (Gbps)",
+	}
+	pm := costmodel.BlueField2()
+	cfg := opt.DefaultConfig()
+	cfg.TopKFrac = 1
+	cfg.CacheBudgetEntries = 8192
+	cfg.CacheInsertLimit = 0
+	cfg.EnableMerge = false
+	cfg.MaxPipeletLen = 12 // single pipelet: ACLs may move ahead of everything
+
+	nicCfg := func(col *profile.Collector, seed uint64) nicsim.Config {
+		c := nicsim.Config{Params: pm, Seed: seed, NoiseStdDev: 0.01, CacheFillCostNs: 1500}
+		if col != nil {
+			c.Collector = col
+			c.Instrument = true
+		}
+		return c
+	}
+	baseNIC, err := nicsim.New(wholeCacheProgram(lbProgram(), cfg), nicCfg(nil, opts.Seed+1))
+	if err != nil {
+		panic(err)
+	}
+	col := profile.NewCollector()
+	dynNIC, err := nicsim.New(lbProgram(), nicCfg(col, opts.Seed+2))
+	if err != nil {
+		panic(err)
+	}
+	rt, err := core.NewRuntime(lbProgram(), dynNIC, col, pm, cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	flowsCalm := trafficgen.UniformFlows(opts.Seed+11, 500)
+	// Phase C traffic: low locality (far more flows than any cache
+	// budget) with 80% of packets matching acl2's drop rule.
+	flowsDrop := trafficgen.DropTargetedFlows(opts.Seed+12, 60000, "tcp.dport", 8888, 0.8)
+	nPkts := opts.pick(2500, 500)
+	insertVal := uint64(0x0d000000)
+
+	var xs, baseY, dynY []float64
+	for ts := 0; ts <= 50; ts += 2 {
+		// Phase boundaries: t<16 calm; 16<=t<32 insertion burst;
+		// t>=32 dropping-rate change (plus continued steady state).
+		var flows []trafficgen.Flow
+		switch {
+		case ts < 32:
+			flows = flowsCalm
+		default:
+			flows = flowsDrop
+		}
+		gen := trafficgen.New(opts.Seed+uint64(ts)*3+21, 0)
+		gen.AddFlows(flows...)
+		if ts < 32 {
+			gen.SetSkew(0.8)
+		} else {
+			gen.SetSkew(0.3) // low locality after the change
+		}
+		// During the burst, entry insertions interleave with traffic —
+		// every chunk of packets is preceded by a batch of LB updates,
+		// so caches keep getting invalidated mid-window as on a live
+		// device.
+		const chunks = 10
+		var baseSum, dynSum float64
+		for c := 0; c < chunks; c++ {
+			if ts >= 16 && ts < 32 {
+				for i := 0; i < 15; i++ {
+					insertVal++
+					e := p4ir.Entry{
+						Match:  []p4ir.MatchValue{{Value: insertVal}},
+						Action: "to_backend", Args: []string{"1"},
+					}
+					if err := rt.InsertEntry("lb1", e); err != nil {
+						panic(err)
+					}
+					if err := baseNIC.InsertEntry("lb1", e); err != nil {
+						panic(err)
+					}
+				}
+			}
+			baseSum += baseNIC.Measure(gen.Batch(nPkts / chunks)).ThroughputGbps
+			dynSum += dynNIC.Measure(gen.Batch(nPkts / chunks)).ThroughputGbps
+		}
+		xs = append(xs, float64(ts))
+		baseY = append(baseY, baseSum/chunks)
+		dynY = append(dynY, dynSum/chunks)
+		if ts%4 == 2 { // profile every ~5s as in the paper
+			if _, err := rt.OptimizeOnce(4 * time.Second); err != nil {
+				panic(err)
+			}
+		}
+	}
+	res.AddSeries("pipeleon", xs, dynY)
+	res.AddSeries("baseline-whole-cache", xs, baseY)
+	res.Note("pipeleon drops caches off the churning LB tables during the burst and reorders ACLs after the drop change; the static whole-program cache stays degraded")
+	return res
+}
+
+// dashProgram builds the §5.3.2 DASH-style packet routing pipeline:
+// direction lookup, three small static metadata tables, connection
+// tracking (churning), three ACL levels, and LPM routing.
+func dashProgram() *p4ir.Program {
+	small := func(name, field string, n int, seed uint64) p4ir.TableSpec {
+		ts := regularTable(name, field, 1, n, seed)
+		return ts
+	}
+	conntrack := p4ir.TableSpec{
+		Name: "conntrack",
+		Keys: []p4ir.Key{{Field: "ipv4.srcAddr", Kind: p4ir.MatchExact, Width: 32}},
+		Actions: []*p4ir.Action{
+			p4ir.NewAction("track", p4ir.Prim("modify_field", "meta.conn", "1")),
+			p4ir.NoopAction("notrack"),
+		},
+		DefaultAction: "notrack",
+	}
+	specs := []p4ir.TableSpec{
+		small("direction", "ipv4.tos", 2, 41),
+		small("meta_appliance", "ipv4.ttl", 3, 42),
+		small("meta_eni", "ipv4.proto", 3, 43),
+		conntrack,
+		aclTernary("acl1", "ipv4.srcAddr", 0xdd000001, 44),
+		aclTernary("acl2", "ipv4.dstAddr", 0xdd000002, 45),
+		aclTernary("acl3", "tcp.dport", 3389, 46),
+		lpmTable("routing", "ipv4.dstAddr", 9, 47),
+	}
+	prog, err := p4ir.ChainTables("dashrouting", specs)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// Fig11b: DASH-style routing on the Agilio CX model. Phase 1 has small
+// static tables and biased ACL drop rates (merge + reorder); phase 2 has
+// even drop rates and long-lived flows (cache the ACLs instead).
+// Netronome-style reconfiguration requires a reload, shown as a
+// zero-throughput sample for the window where Pipeleon redeploys.
+func Fig11b(opts RunOpts) *Result {
+	res := &Result{
+		ID: "fig11b", Title: "DASH-style routing with reload-based reconfiguration",
+		XLabel: "time (s)", YLabel: "throughput (Gbps)",
+	}
+	pm := costmodel.AgilioCX()
+	cfg := opt.DefaultConfig()
+	cfg.TopKFrac = 1
+	cfg.CacheBudgetEntries = 4096
+	cfg.CacheInsertLimit = 0
+	cfg.MaxPipeletLen = 8
+	cfg.RedeployMargin = 0.3 // reloads cost downtime on Agilio; be conservative
+
+	baseNIC, err := nicsim.New(dashProgram(), nicsim.Config{Params: pm, Seed: opts.Seed + 1, NoiseStdDev: 0.01})
+	if err != nil {
+		panic(err)
+	}
+	col := profile.NewCollector()
+	dynNIC, err := nicsim.New(dashProgram(), nicsim.Config{
+		Params: pm, Seed: opts.Seed + 2, NoiseStdDev: 0.01,
+		Collector: col, Instrument: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	rt, err := core.NewRuntime(dashProgram(), dynNIC, col, pm, cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	// Phase 1 flows: short-lived (many flows), matching the small static
+	// tables' entries, with 60% dropped by acl3. Phase 2: long-lived
+	// (few flows, high locality), even low drops.
+	phase1 := hitMissFlows(dashProgram(), opts.Seed+31, 4000, 0.85)
+	rng := newRng(opts.Seed + 33)
+	for i := range phase1 {
+		if rng.Float64() < 0.6 {
+			phase1[i].DPort = 3389
+		} else if phase1[i].DPort == 3389 {
+			phase1[i].DPort = 8080
+		}
+	}
+	phase2 := hitMissFlows(dashProgram(), opts.Seed+32, 60, 0.85)
+	for i := range phase2 {
+		if phase2[i].DPort == 3389 {
+			phase2[i].DPort = 8080 // even, low drop rates in phase 2
+		}
+	}
+
+	nPkts := opts.pick(2500, 1500)
+	var xs, baseY, dynY []float64
+	var reloadTimes []float64
+	pendingReload := false
+	for ts := 0; ts <= 250; ts += 10 {
+		var gen *trafficgen.Generator
+		if ts < 120 {
+			gen = trafficgen.New(opts.Seed+uint64(ts)+41, 0)
+			gen.AddFlows(phase1...)
+		} else {
+			gen = trafficgen.New(opts.Seed+uint64(ts)+42, 0)
+			gen.AddFlows(phase2...)
+			gen.SetSkew(1.0)
+		}
+		mb := baseNIC.Measure(gen.Batch(nPkts))
+		md := dynNIC.Measure(gen.Batch(nPkts))
+		xs = append(xs, float64(ts))
+		baseY = append(baseY, mb.ThroughputGbps)
+		if pendingReload {
+			// Reload downtime: Netronome reconfiguration reflashes the
+			// micro-engines, so the window after a deployment serves no
+			// traffic (§5.1: "reloading programs requires micro-engine
+			// reflashes and causes service interruption").
+			md.ThroughputGbps = 0
+			reloadTimes = append(reloadTimes, float64(ts))
+			pendingReload = false
+		}
+		dynY = append(dynY, md.ThroughputGbps)
+		if ts > 0 {
+			rep, err := rt.OptimizeOnce(10 * time.Second)
+			if err != nil {
+				panic(err)
+			}
+			pendingReload = rep.Deployed
+		}
+	}
+	res.AddSeries("pipeleon", xs, dynY)
+	res.AddSeries("baseline", xs, baseY)
+	res.Note("reload (zero-throughput) windows at t=%v; phase 1 gains come from merging the small static tables and reordering ACLs, phase 2 from caching the ACLs", reloadTimes)
+	return res
+}
+
+// nfCompositionProgram composes the load balancer, the DASH-style
+// routing, and an L2/L3/ACL program behind a classifier — nine-plus
+// pipelets whose hotspots move with traffic (§5.3.3).
+func nfCompositionProgram() *p4ir.Program {
+	b := p4ir.NewBuilder("nfcomposition")
+	// Classifier: proto picks NF1 (UDP), then dport splits NF2/NF3.
+	b.Cond("c_proto", "ipv4.proto == 17", "nf1_t0", "c_dport", "ipv4.proto")
+	b.Cond("c_dport", "tcp.dport < 1024", "nf2_t0", "nf3_t0", "tcp.dport")
+
+	addChain := func(prefix string, specs []p4ir.TableSpec) {
+		for i := range specs {
+			if i+1 < len(specs) {
+				specs[i].Next = specs[i+1].Name
+			} else {
+				specs[i].Next = "egress"
+			}
+			b.Table(specs[i])
+		}
+		_ = prefix
+	}
+	// NF1: LB-ish — two ternary + one exact.
+	addChain("nf1", []p4ir.TableSpec{
+		ternaryTable("nf1_t0", "ipv4.srcAddr", 10, 101),
+		ternaryTable("nf1_t1", "ipv4.dstAddr", 10, 102),
+		regularTable("nf1_t2", "udp.dport", 2, 16, 103),
+	})
+	// NF2: routing-ish — ACLs + LPM.
+	addChain("nf2", []p4ir.TableSpec{
+		aclTable("nf2_t0", "tcp.sport", 3131),
+		ternaryTable("nf2_t1", "ipv4.srcAddr", 10, 104),
+		lpmTable("nf2_t2", "ipv4.dstAddr", 9, 105),
+	})
+	// NF3: L2/L3/ACL — exact + ternary + ACL.
+	addChain("nf3", []p4ir.TableSpec{
+		regularTable("nf3_t0", "eth.dstMac", 2, 16, 106),
+		ternaryTable("nf3_t1", "ipv4.dstAddr", 10, 107),
+		aclTable("nf3_t2", "tcp.dport", 6667),
+	})
+	b.Table(regularTable("egress", "ipv4.tos", 1, 4, 108))
+	b.Root("c_proto")
+	return b.MustBuild()
+}
+
+// Fig11c: NF composition on the emulated NIC with dynamic top-k pipelet
+// changes; reports the emulated per-packet latency over the packet
+// sequence as traffic shifts across NFs.
+func Fig11c(opts RunOpts) *Result {
+	res := &Result{
+		ID: "fig11c", Title: "NF composition: dynamic top-k re-optimization",
+		XLabel: "packet sequence (x1000)", YLabel: "emulated latency (ns)",
+	}
+	pm := costmodel.EmulatedNIC()
+	cfg := opt.DefaultConfig()
+	cfg.TopKFrac = 0.3 // top-30% as in the paper
+	cfg.CacheInsertLimit = 0
+
+	baseNIC, err := nicsim.New(nfCompositionProgram(), nicsim.Config{Params: pm, Seed: opts.Seed + 1})
+	if err != nil {
+		panic(err)
+	}
+	col := profile.NewCollector()
+	dynNIC, err := nicsim.New(nfCompositionProgram(), nicsim.Config{
+		Params: pm, Seed: opts.Seed + 2, Collector: col, Instrument: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	rt, err := core.NewRuntime(nfCompositionProgram(), dynNIC, col, pm, cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	// Three traffic phases concentrating on NF1 / NF2 / NF3.
+	mkFlows := func(phase int, seed uint64) []trafficgen.Flow {
+		flows := trafficgen.UniformFlows(seed, 200)
+		for i := range flows {
+			switch phase {
+			case 0:
+				flows[i].Proto = packet.ProtoUDP
+			case 1:
+				flows[i].Proto = packet.ProtoTCP
+				flows[i].DPort = uint16(1 + i%1000)
+			default:
+				flows[i].Proto = packet.ProtoTCP
+				flows[i].DPort = uint16(2000 + i%5000)
+			}
+		}
+		return flows
+	}
+
+	nPerStep := opts.pick(1000, 300)
+	var xs, baseY, dynY []float64
+	step := 0
+	for phase := 0; phase < 3; phase++ {
+		for w := 0; w < 11; w++ {
+			gen := trafficgen.New(opts.Seed+uint64(step)*13+61, 0)
+			gen.AddFlows(mkFlows(phase, opts.Seed+uint64(phase)+71)...)
+			gen.SetSkew(1.1)
+			mb := baseNIC.Measure(gen.Batch(nPerStep))
+			md := dynNIC.Measure(gen.Batch(nPerStep))
+			xs = append(xs, float64(step))
+			baseY = append(baseY, mb.MeanLatencyNs)
+			dynY = append(dynY, md.MeanLatencyNs)
+			if w%2 == 1 {
+				if _, err := rt.OptimizeOnce(time.Second); err != nil {
+					panic(err)
+				}
+			}
+			step++
+		}
+	}
+	res.AddSeries("pipeleon", xs, dynY)
+	res.AddSeries("baseline", xs, baseY)
+	var dSum, bSum float64
+	for i := range dynY {
+		dSum += dynY[i]
+		bSum += baseY[i]
+	}
+	res.Note("average latency reduction %.0f%% (paper: 49%%); spikes right after each phase change shrink once the next round re-targets the new top-k pipelets", (1-dSum/bSum)*100)
+	return res
+}

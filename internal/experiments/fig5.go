@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pipeleon/internal/costmodel"
+	"pipeleon/internal/nicsim"
+	"pipeleon/internal/p4ir"
+	"pipeleon/internal/profile"
+	"pipeleon/internal/trafficgen"
+)
+
+// Figure 5 validates the §3.1 cost model against "hardware" measurements.
+// In this reproduction the hardware is the emulator, but the two numbers
+// still come from genuinely independent code paths: the measurement runs
+// packets through hash-table lookups with per-probe cycle charging and 2%
+// multiplicative noise, while the prediction evaluates the closed-form
+// expectation L(G) = Σ P(v)·(m·Lmat + Σ P(a)·n_a·Lact) over a profile
+// collected separately. The paper reports ~5% mean deviation; the
+// reproduction should land in the same band.
+
+// hitMissFlows builds flows whose field values match installed entries
+// with probability ~hitFrac, giving the model a non-trivial action mix.
+func hitMissFlows(prog *p4ir.Program, seed uint64, count int, hitFrac float64) []trafficgen.Flow {
+	// Collect per-field candidate values from entries.
+	candidates := map[string][]uint64{}
+	for _, t := range prog.Tables {
+		for _, e := range t.Entries {
+			for ki, mv := range e.Match {
+				if ki >= len(t.Keys) {
+					continue
+				}
+				f := t.Keys[ki].Field
+				v := mv.Value
+				if t.Keys[ki].Kind == p4ir.MatchLPM || t.Keys[ki].Kind == p4ir.MatchTernary {
+					// Any value under the prefix/mask hits; the base
+					// value itself does.
+					v = mv.Value
+				}
+				candidates[f] = append(candidates[f], v)
+			}
+		}
+	}
+	fields := make([]string, 0, len(candidates))
+	for f := range candidates {
+		fields = append(fields, f)
+	}
+	sort.Strings(fields) // deterministic RNG consumption order
+	rngFlows := trafficgen.UniformFlows(seed, count)
+	rng := newRng(seed + 999)
+	for i := range rngFlows {
+		for _, field := range fields {
+			vals := candidates[field]
+			if len(vals) == 0 {
+				continue
+			}
+			if rng.Float64() < hitFrac {
+				setFlowField(&rngFlows[i], field, vals[rng.Intn(len(vals))])
+			}
+		}
+	}
+	return rngFlows
+}
+
+func setFlowField(f *trafficgen.Flow, field string, v uint64) {
+	switch field {
+	case "ipv4.srcAddr":
+		f.Src = uint32(v)
+	case "ipv4.dstAddr":
+		f.Dst = uint32(v)
+	case "tcp.sport":
+		f.SPort = uint16(v)
+	case "tcp.dport":
+		f.DPort = uint16(v)
+	default:
+		if f.Fields == nil {
+			f.Fields = map[string]uint64{}
+		}
+		f.Fields[field] = v
+	}
+}
+
+// collectProfile runs an instrumented pass (zero counter cost) and returns
+// the profile the model consumes.
+func collectProfile(prog *p4ir.Program, pm costmodel.Params, flows []trafficgen.Flow, seed uint64, n int) *profile.Profile {
+	pmNoCounter := pm
+	pmNoCounter.CounterUpdate = 0
+	col := profile.NewCollector()
+	nic, err := nicsim.New(prog, nicsim.Config{Params: pmNoCounter, Collector: col, Instrument: true})
+	if err != nil {
+		panic(err)
+	}
+	gen := trafficgen.New(seed, 0)
+	gen.AddFlows(flows...)
+	nic.Measure(gen.Batch(n))
+	return col.Snapshot()
+}
+
+// measureThroughput runs the "hardware" measurement with noise.
+func measureThroughput(prog *p4ir.Program, pm costmodel.Params, flows []trafficgen.Flow, seed uint64, n int) nicsim.Measurement {
+	nic, err := nicsim.New(prog, nicsim.Config{
+		Params: pm, Seed: seed, NoiseStdDev: 0.02,
+		// Fixed parse/steering overhead the closed-form model omits.
+		PerPacketOverheadNs: 25,
+	})
+	if err != nil {
+		panic(err)
+	}
+	gen := trafficgen.New(seed+1, 0)
+	gen.AddFlows(flows...)
+	return nic.Measure(gen.Batch(n))
+}
+
+// modelValidation runs one fig5 sub-experiment over the given programs.
+func modelValidation(id, title, xlabel string, xs []float64, progs []*p4ir.Program, opts RunOpts) *Result {
+	res := &Result{ID: id, Title: title, XLabel: xlabel, YLabel: "normalized throughput"}
+	pm := costmodel.BlueField2()
+	nPkts := opts.pick(4000, 800)
+	var realY, modelY []float64
+	var devSum float64
+	for i, prog := range progs {
+		flows := hitMissFlows(prog, opts.Seed+uint64(i)*13+1, 500, 0.7)
+		prof := collectProfile(prog, pm, flows, opts.Seed+uint64(i)*17+2, nPkts/2)
+		meas := measureThroughput(prog, pm, flows, opts.Seed+uint64(i)*19+3, nPkts)
+		predLat := costmodel.ExpectedLatency(prog, prof, pm)
+		realY = append(realY, 1.0)
+		// Uncapped throughput is proportional to 1/latency, so the
+		// normalized model prediction is measuredLat/predictedLat.
+		ratio := 0.0
+		if predLat > 0 {
+			ratio = meas.MeanLatencyNs / predLat
+		}
+		modelY = append(modelY, ratio)
+		devSum += math.Abs(ratio - 1)
+	}
+	res.AddSeries("real-measurement", xs, realY)
+	res.AddSeries("cost-model", xs, modelY)
+	res.Note("mean |deviation| = %.1f%% (paper reports ~5%%)", devSum/float64(len(progs))*100)
+	return res
+}
+
+// Fig5a sweeps the number of exact tables (10-40, two actions each).
+func Fig5a(opts RunOpts) *Result {
+	var xs []float64
+	var progs []*p4ir.Program
+	for _, n := range []int{10, 20, 30, 40} {
+		xs = append(xs, float64(n))
+		progs = append(progs, exactChainProgram(n, 2))
+	}
+	return modelValidation("fig5a", "cost model vs measurement: # exact tables", "# exact tables", xs, progs, opts)
+}
+
+// Fig5b sweeps action primitives (2-8) at 20 exact tables.
+func Fig5b(opts RunOpts) *Result {
+	var xs []float64
+	var progs []*p4ir.Program
+	for _, p := range []int{2, 4, 6, 8} {
+		xs = append(xs, float64(p))
+		progs = append(progs, exactChainProgram(20, p))
+	}
+	return modelValidation("fig5b", "cost model vs measurement: # action primitives", "# action primitives", xs, progs, opts)
+}
+
+// Fig5c sweeps LPM table counts (10-16, 3 distinct prefixes).
+func Fig5c(opts RunOpts) *Result {
+	var xs []float64
+	var progs []*p4ir.Program
+	for _, n := range []int{10, 12, 14, 16} {
+		xs = append(xs, float64(n))
+		progs = append(progs, kindChainProgram(n, "lpm"))
+	}
+	return modelValidation("fig5c", "cost model vs measurement: # LPM tables", "# LPM tables", xs, progs, opts)
+}
+
+// Fig5d sweeps ternary table counts (10-16, 5 distinct masks).
+func Fig5d(opts RunOpts) *Result {
+	var xs []float64
+	var progs []*p4ir.Program
+	for _, n := range []int{10, 12, 14, 16} {
+		xs = append(xs, float64(n))
+		progs = append(progs, kindChainProgram(n, "ternary"))
+	}
+	return modelValidation("fig5d", "cost model vs measurement: # ternary tables", "# ternary tables", xs, progs, opts)
+}
+
+func kindChainProgram(n int, kind string) *p4ir.Program {
+	fields := []string{"ipv4.dstAddr", "ipv4.srcAddr"}
+	specs := make([]p4ir.TableSpec, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("t%02d", i)
+		field := fields[i%len(fields)]
+		if kind == "lpm" {
+			specs[i] = lpmTable(name, field, 9, uint64(i)+1)
+		} else {
+			specs[i] = ternaryTable(name, field, 10, uint64(i)+1)
+		}
+	}
+	prog, err := p4ir.ChainTables(kind+"chain", specs)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pipeleon/internal/costmodel"
+	"pipeleon/internal/nicsim"
+	"pipeleon/internal/opt"
+	"pipeleon/internal/p4ir"
+	"pipeleon/internal/pipelet"
+	"pipeleon/internal/trafficgen"
+)
+
+// Figure 9: per-technique microbenchmarks on the BlueField2 and Agilio CX
+// models, mirroring §5.2.1.
+
+// reorderSweep measures throughput as the ACL table moves from the back of
+// a 22-table program to the front, for 25/50/75% drop rates.
+func reorderSweep(id string, pm costmodel.Params, opts RunOpts) *Result {
+	res := &Result{
+		ID: id, Title: "table reordering: ACL position sweep (" + pm.Name + ")",
+		XLabel: "ACL table position", YLabel: "throughput (Gbps)",
+	}
+	const total = 22
+	positions := []int{21, 18, 15, 12, 9, 6, 3, 0}
+	nPkts := opts.pick(3000, 600)
+	for _, dropPct := range []int{25, 50, 75} {
+		var xs, ys []float64
+		for _, pos := range positions {
+			prog := reorderBenchProgram(total, pos, 23)
+			flows := trafficgen.DropTargetedFlows(opts.Seed+uint64(pos)+uint64(dropPct), 2000,
+				"tcp.dport", 23, float64(dropPct)/100)
+			m := measureThroughput(prog, pm, flows, opts.Seed+uint64(pos)*7, nPkts)
+			xs = append(xs, float64(pos))
+			ys = append(ys, m.ThroughputGbps)
+		}
+		res.AddSeries(fmt.Sprintf("drop-%d%%", dropPct), xs, ys)
+	}
+	res.Note("promoting the dropping ACL to earlier positions raises throughput toward line rate; higher drop rates gain more")
+	return res
+}
+
+// Fig9a is the reordering sweep on the BlueField2 model.
+func Fig9a(opts RunOpts) *Result { return reorderSweep("fig9a", costmodel.BlueField2(), opts) }
+
+// Fig9b is the reordering sweep on the Agilio CX model.
+func Fig9b(opts RunOpts) *Result { return reorderSweep("fig9b", costmodel.AgilioCX(), opts) }
+
+// cacheBenchPipelets is the replication factor of the caching
+// microbenchmark ("pipelets with four tables, replicated with a scale
+// factor N", §5.2.1).
+const cacheBenchPipelets = 12
+
+// cachingBenchProgram builds N pipelets of four ternary tables, each
+// pipelet cycling the four 5-tuple fields.
+func cachingBenchProgram() *p4ir.Program {
+	fields := []string{"ipv4.srcAddr", "ipv4.dstAddr", "tcp.sport", "tcp.dport"}
+	var specs []p4ir.TableSpec
+	for p := 0; p < cacheBenchPipelets; p++ {
+		for i, f := range fields {
+			specs = append(specs, ternaryTable(fmt.Sprintf("p%dt%d", p, i+1), f, 10, uint64(p*4+i)+1))
+		}
+	}
+	prog, err := p4ir.ChainTables("cachebench", specs)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// applyPerPipelet rewrites the program applying the given segments
+// (positions relative to each 4-table pipelet) to every pipelet.
+func applyPerPipelet(prog *p4ir.Program, kind opt.SegKind, spans [][2]int, cfg opt.Config) *p4ir.Program {
+	part, err := pipelet.Form(prog, 4)
+	if err != nil {
+		panic(err)
+	}
+	var plan []*opt.Option
+	for _, p := range part.Pipelets {
+		o := &opt.Option{Kind: opt.OptPipelet, Pipelet: p, Order: append([]string(nil), p.Tables...)}
+		for _, s := range spans {
+			if s[0]+s[1] <= p.Len() {
+				o.Segments = append(o.Segments, opt.Segment{Kind: kind, Start: s[0], Len: s[1]})
+			}
+		}
+		plan = append(plan, o)
+	}
+	rw, err := opt.Apply(prog, plan, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return rw.Program
+}
+
+// applyCacheOption applies cache spans to every pipelet of the benchmark.
+func applyCacheOption(prog *p4ir.Program, spans [][2]int, cfg opt.Config) *p4ir.Program {
+	return applyPerPipelet(prog, opt.SegCache, spans, cfg)
+}
+
+// Fig9c compares caching strategies on both targets with 40 000 flows
+// whose per-table key cardinality is ~14 (so the 4-field cross product is
+// ~38k — far beyond any cache budget, per §3.2.2's cross-product problem).
+func Fig9c(opts RunOpts) *Result {
+	res := &Result{
+		ID: "fig9c", Title: "table caching options",
+		XLabel: "option index (0=no-cache 1=[1][2][3][4] 2=[1,2][3][4] 3=[1,2,3][4] 4=[1,2,3,4])",
+		YLabel: "throughput (Gbps)",
+	}
+	options := []struct {
+		name  string
+		spans [][2]int
+	}{
+		{"no-cache", nil},
+		{"[1][2][3][4]", [][2]int{{0, 1}, {1, 1}, {2, 1}, {3, 1}}},
+		{"[1,2][3][4]", [][2]int{{0, 2}, {2, 1}, {3, 1}}},
+		{"[1,2,3][4]", [][2]int{{0, 3}, {3, 1}}},
+		{"[1,2,3,4]", [][2]int{{0, 4}}},
+	}
+	cfg := opt.DefaultConfig()
+	cfg.CacheBudgetEntries = 4096
+	cfg.CacheInsertLimit = 0 // uncapped for the microbenchmark
+	flows := trafficgen.CrossProductFlows(opts.Seed+5, 40000, map[string]int{
+		"ipv4.srcAddr": 14, "ipv4.dstAddr": 14, "tcp.sport": 14, "tcp.dport": 14,
+	})
+	nPkts := opts.pick(60000, 8000)
+	targets := []struct {
+		pm     costmodel.Params
+		vendor bool
+	}{
+		{costmodel.BlueField2(), false},
+		{costmodel.AgilioCX(), true}, // Netronome's native flow cache stays on (§5.2.1)
+	}
+	for _, tgt := range targets {
+		var xs, ys []float64
+		for oi, option := range options {
+			prog := cachingBenchProgram()
+			if option.spans != nil {
+				prog = applyCacheOption(prog, option.spans, cfg)
+			}
+			nic, err := nicsim.New(prog, nicsim.Config{
+				Params: tgt.pm, Seed: opts.Seed + uint64(oi),
+				VendorCache: tgt.vendor, VendorCacheBudget: 4096,
+			})
+			if err != nil {
+				panic(err)
+			}
+			gen := trafficgen.New(opts.Seed+uint64(oi)*3+11, 0)
+			gen.AddFlows(flows...)
+			gen.SetSkew(0.9) // realistic flow locality
+			// Warm the caches fully, then measure steady state.
+			nic.Measure(gen.Batch(20000))
+			m := nic.Measure(gen.Batch(nPkts))
+			xs = append(xs, float64(oi))
+			ys = append(ys, m.ThroughputGbps)
+		}
+		res.AddSeries(tgt.pm.Name, xs, ys)
+	}
+	res.Note("fewer, wider caches win until the cross-product working set outgrows the budget; [1,2,3,4] regresses vs [1,2,3][4]")
+	return res
+}
+
+// Fig9d compares merging options on both targets: four small exact static
+// tables merged pairwise and beyond (merge cap raised to 4 as the paper's
+// sweep does).
+func Fig9d(opts RunOpts) *Result {
+	res := &Result{
+		ID: "fig9d", Title: "table merging options",
+		XLabel: "option index (0=no-merge 1=[1,2] 2=[1,2,3] 3=[1,2,3,4])",
+		YLabel: "throughput (Gbps)",
+	}
+	options := []struct {
+		name string
+		len  int
+	}{
+		{"no-merge", 0},
+		{"[1,2]", 2},
+		{"[1,2,3]", 3},
+		{"[1,2,3,4]", 4},
+	}
+	mkProg := func() *p4ir.Program {
+		fields := []string{"ipv4.srcAddr", "ipv4.dstAddr", "tcp.sport", "tcp.dport"}
+		var specs []p4ir.TableSpec
+		for p := 0; p < 8; p++ {
+			for i, f := range fields {
+				// Seed by field (not table) so every pipelet's table on a
+				// given field holds the same entries: a flow that hits
+				// p0t1 hits p1t1 too, and merged caches stay effective.
+				specs = append(specs, regularTable(fmt.Sprintf("p%dt%d", p, i+1), f, 4, 8, uint64(i)+1))
+			}
+		}
+		prog, err := p4ir.ChainTables("mergebench", specs)
+		if err != nil {
+			panic(err)
+		}
+		return prog
+	}
+	cfg := opt.DefaultConfig()
+	cfg.MergeCap = 4
+	nPkts := opts.pick(20000, 4000)
+	base := mkProg()
+	// Flows that hit every table's entries most of the time, so the
+	// merged cross-product covers most traffic.
+	flows := hitMissFlows(base, opts.Seed+21, 3000, 0.95)
+	var entryNote []int
+	for _, tgt := range []costmodel.Params{costmodel.BlueField2(), costmodel.AgilioCX()} {
+		var xs, ys []float64
+		for oi, option := range options {
+			prog := mkProg()
+			if option.len >= 2 {
+				prog = applyPerPipelet(prog, opt.SegMerge, [][2]int{{0, option.len}}, cfg)
+			}
+			if tgt.Name == "bluefield2" {
+				total := 0
+				for _, t := range prog.Tables {
+					total += len(t.Entries)
+				}
+				entryNote = append(entryNote, total)
+			}
+			m := measureThroughput(prog, tgt, flows, opts.Seed+uint64(oi)*29, nPkts)
+			xs = append(xs, float64(oi))
+			ys = append(ys, m.ThroughputGbps)
+		}
+		res.AddSeries(tgt.Name, xs, ys)
+	}
+	res.Note("total installed entries per option: %v — merging trades entry cross-product growth for fewer lookups", entryNote)
+	return res
+}

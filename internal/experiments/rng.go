@@ -1,0 +1,6 @@
+package experiments
+
+import "pipeleon/internal/stats"
+
+// newRng centralizes RNG construction for the harness.
+func newRng(seed uint64) *stats.RNG { return stats.NewRNG(seed) }

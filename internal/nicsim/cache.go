@@ -1,0 +1,169 @@
+package nicsim
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"pipeleon/internal/p4ir"
+)
+
+// fieldWrite is one header-field assignment recorded while a cache-filling
+// packet traverses the covered tables.
+type fieldWrite struct {
+	field string
+	value uint64
+}
+
+// cachedResult is the value stored per cache entry: the combined effect of
+// the covered span on packets of this flow.
+type cachedResult struct {
+	writes  []fieldWrite
+	dropped bool
+}
+
+// tokenBucket rate-limits cache insertions (§3.2.2: "Pipeleon sets an
+// insertion rate limit for each cache; insertions beyond the limit will be
+// dropped").
+type tokenBucket struct {
+	rate   float64 // tokens per second; <=0 = unlimited
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64) *tokenBucket {
+	return &tokenBucket{rate: rate, burst: rate, tokens: rate, last: time.Now()}
+}
+
+// allow consumes one token if available at time now.
+func (tb *tokenBucket) allow(now time.Time) bool {
+	if tb.rate <= 0 {
+		return true
+	}
+	dt := now.Sub(tb.last).Seconds()
+	if dt > 0 {
+		tb.tokens += dt * tb.rate
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+		tb.last = now
+	}
+	if tb.tokens >= 1 {
+		tb.tokens--
+		return true
+	}
+	return false
+}
+
+// flowCache is the runtime store of one generated cache table: an LRU map
+// from masked key to cachedResult, with a fixed entry budget and an
+// insertion rate limiter.
+type flowCache struct {
+	mu      sync.Mutex
+	spec    p4ir.CacheSpec
+	fields  []string
+	budget  int
+	lru     *list.List // front = most recent; values are *cacheNode
+	index   map[string]*list.Element
+	limiter *tokenBucket
+
+	hits, misses, inserts, rejected, evictions, invalidations uint64
+}
+
+type cacheNode struct {
+	key string
+	res cachedResult
+}
+
+func newFlowCache(spec p4ir.CacheSpec, fields []string) *flowCache {
+	return &flowCache{
+		spec:    spec,
+		fields:  fields,
+		budget:  spec.Budget,
+		lru:     list.New(),
+		index:   map[string]*list.Element{},
+		limiter: newTokenBucket(spec.InsertLimit),
+	}
+}
+
+// get looks up a key, refreshing LRU order on hit.
+func (c *flowCache) get(key string) (cachedResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheNode).res, true
+	}
+	c.misses++
+	return cachedResult{}, false
+}
+
+// put installs a result, subject to the rate limit and LRU eviction.
+func (c *flowCache) put(key string, res cachedResult, now time.Time) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[key]; ok {
+		el.Value.(*cacheNode).res = res
+		c.lru.MoveToFront(el)
+		return true
+	}
+	if !c.limiter.allow(now) {
+		c.rejected++
+		return false
+	}
+	if c.budget > 0 && c.lru.Len() >= c.budget {
+		back := c.lru.Back()
+		if back != nil {
+			delete(c.index, back.Value.(*cacheNode).key)
+			c.lru.Remove(back)
+			c.evictions++
+		}
+	}
+	c.index[key] = c.lru.PushFront(&cacheNode{key: key, res: res})
+	c.inserts++
+	return true
+}
+
+// invalidate clears the whole cache (an update in any covered table
+// invalidates it, §3.2.2).
+func (c *flowCache) invalidate() {
+	c.mu.Lock()
+	c.lru.Init()
+	c.index = map[string]*list.Element{}
+	c.invalidations++
+	c.mu.Unlock()
+}
+
+// CacheStats is a snapshot of one cache's counters.
+type CacheStats struct {
+	Table         string
+	Hits, Misses  uint64
+	Inserts       uint64
+	Rejected      uint64
+	Evictions     uint64
+	Invalidations uint64
+	Entries       int
+}
+
+func (c *flowCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Table: c.spec.Table,
+		Hits:  c.hits, Misses: c.misses,
+		Inserts: c.inserts, Rejected: c.rejected,
+		Evictions: c.evictions, Invalidations: c.invalidations,
+		Entries: c.lru.Len(),
+	}
+}
+
+// HitRate returns hits/(hits+misses) and whether any lookups happened.
+func (s CacheStats) HitRate() (float64, bool) {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0, false
+	}
+	return float64(s.Hits) / float64(total), true
+}

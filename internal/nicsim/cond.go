@@ -1,0 +1,75 @@
+package nicsim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pipeleon/internal/packet"
+)
+
+// CondFunc evaluates a conditional branch against a packet.
+type CondFunc func(*packet.Packet) bool
+
+// compileCond turns a conditional expression into an executable predicate.
+// The supported grammar covers what the paper's programs need:
+//
+//	<field> <op> <literal>   with op in {==, !=, <, <=, >, >=}
+//	valid(ipv4|tcp|udp)      header validity
+//	true | false             constants
+//
+// Anything else must be supplied via Config.CondFuncs; unknown expressions
+// fail at build time rather than silently defaulting.
+func compileCond(expr string, custom map[string]CondFunc) (CondFunc, error) {
+	if f, ok := custom[expr]; ok {
+		return f, nil
+	}
+	s := strings.TrimSpace(expr)
+	switch s {
+	case "true", "":
+		return func(*packet.Packet) bool { return true }, nil
+	case "false":
+		return func(*packet.Packet) bool { return false }, nil
+	}
+	if strings.HasPrefix(s, "valid(") && strings.HasSuffix(s, ")") {
+		hdr := s[len("valid(") : len(s)-1]
+		switch hdr {
+		case "ipv4":
+			return func(p *packet.Packet) bool { return p.HasIPv4 }, nil
+		case "tcp":
+			return func(p *packet.Packet) bool { return p.HasTCP }, nil
+		case "udp":
+			return func(p *packet.Packet) bool { return p.HasUDP }, nil
+		}
+		return nil, fmt.Errorf("nicsim: unknown header in %q", expr)
+	}
+	for _, op := range []string{"==", "!=", "<=", ">=", "<", ">"} {
+		if i := strings.Index(s, op); i > 0 {
+			field := strings.TrimSpace(s[:i])
+			litStr := strings.TrimSpace(s[i+len(op):])
+			lit, err := strconv.ParseUint(litStr, 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("nicsim: bad literal in %q: %v", expr, err)
+			}
+			cmp := op
+			return func(p *packet.Packet) bool {
+				v, _ := p.Get(field)
+				switch cmp {
+				case "==":
+					return v == lit
+				case "!=":
+					return v != lit
+				case "<":
+					return v < lit
+				case "<=":
+					return v <= lit
+				case ">":
+					return v > lit
+				default:
+					return v >= lit
+				}
+			}, nil
+		}
+	}
+	return nil, fmt.Errorf("nicsim: cannot compile conditional %q", expr)
+}

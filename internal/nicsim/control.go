@@ -1,0 +1,151 @@
+package nicsim
+
+import (
+	"fmt"
+	"sort"
+
+	"pipeleon/internal/p4ir"
+)
+
+// Entry update API — the data-plane side of the control plane. Every call
+// counts toward the table's update rate (§4) and invalidates any runtime
+// cache covering the table (§3.2.2: "an update in any of the original
+// tables will invalidate the entire cache").
+
+// InsertEntry installs an entry into a table and rebuilds its lookup
+// structure.
+func (n *NIC) InsertEntry(table string, e p4ir.Entry) error {
+	return n.mutateTable(table, func(t *p4ir.Table) error {
+		if len(e.Match) != len(t.Keys) {
+			return fmt.Errorf("nicsim: entry arity %d != %d keys", len(e.Match), len(t.Keys))
+		}
+		if t.Action(e.Action) == nil {
+			return fmt.Errorf("nicsim: unknown action %q", e.Action)
+		}
+		if t.MaxEntries > 0 && len(t.Entries) >= t.MaxEntries {
+			return fmt.Errorf("nicsim: table %q full (%d entries)", table, t.MaxEntries)
+		}
+		t.Entries = append(t.Entries, e.Clone())
+		return nil
+	})
+}
+
+// DeleteEntry removes the first entry whose match values equal the given
+// match.
+func (n *NIC) DeleteEntry(table string, match []p4ir.MatchValue) error {
+	return n.mutateTable(table, func(t *p4ir.Table) error {
+		for i := range t.Entries {
+			if matchEqual(t.Entries[i].Match, match) {
+				t.Entries = append(t.Entries[:i], t.Entries[i+1:]...)
+				return nil
+			}
+		}
+		return fmt.Errorf("nicsim: no entry matching %v in %q", match, table)
+	})
+}
+
+// ModifyEntry replaces the action/args of the first entry whose match
+// values equal the given match.
+func (n *NIC) ModifyEntry(table string, match []p4ir.MatchValue, action string, args []string) error {
+	return n.mutateTable(table, func(t *p4ir.Table) error {
+		if t.Action(action) == nil {
+			return fmt.Errorf("nicsim: unknown action %q", action)
+		}
+		for i := range t.Entries {
+			if matchEqual(t.Entries[i].Match, match) {
+				t.Entries[i].Action = action
+				t.Entries[i].Args = append([]string(nil), args...)
+				return nil
+			}
+		}
+		return fmt.Errorf("nicsim: no entry matching %v in %q", match, table)
+	})
+}
+
+// ReplaceEntries swaps a table's whole entry set (bulk install).
+func (n *NIC) ReplaceEntries(table string, entries []p4ir.Entry) error {
+	return n.mutateTable(table, func(t *p4ir.Table) error {
+		t.Entries = t.Entries[:0]
+		for _, e := range entries {
+			t.Entries = append(t.Entries, e.Clone())
+		}
+		return nil
+	})
+}
+
+func matchEqual(a, b []p4ir.MatchValue) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *NIC) mutateTable(table string, f func(*p4ir.Table) error) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	t, ok := n.prog.Tables[table]
+	if !ok {
+		return fmt.Errorf("nicsim: no table %q", table)
+	}
+	if err := f(t); err != nil {
+		return err
+	}
+	rt, err := buildTable(t, n.pm.LPMFixedM, n.pm.TernaryFixedM)
+	if err != nil {
+		return err
+	}
+	n.tables[table] = rt
+	for _, fc := range n.coveredBy[table] {
+		fc.invalidate()
+	}
+	if n.vendorCache != nil {
+		n.vendorCache.invalidate()
+	}
+	n.statMu.Lock()
+	n.updateCounts[table]++
+	n.statMu.Unlock()
+	return nil
+}
+
+// UpdateCounts returns the cumulative entry-update operations per table.
+func (n *NIC) UpdateCounts() map[string]uint64 {
+	n.statMu.Lock()
+	defer n.statMu.Unlock()
+	out := make(map[string]uint64, len(n.updateCounts))
+	for k, v := range n.updateCounts {
+		out[k] = v
+	}
+	return out
+}
+
+// CacheStatsAll returns stats for every runtime cache (sorted by table
+// name), plus the vendor cache if enabled.
+func (n *NIC) CacheStatsAll() []CacheStats {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var names []string
+	for name := range n.caches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []CacheStats
+	for _, name := range names {
+		out = append(out, n.caches[name].stats())
+	}
+	if n.vendorCache != nil {
+		out = append(out, n.vendorCache.stats())
+	}
+	return out
+}
+
+// Counters returns processed/dropped totals.
+func (n *NIC) Counters() (processed, dropped uint64) {
+	n.statMu.Lock()
+	defer n.statMu.Unlock()
+	return n.processed, n.dropped
+}

@@ -1,0 +1,129 @@
+package nicsim
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"pipeleon/internal/packet"
+)
+
+// Measurement aggregates a batch of processed packets into the quantities
+// the evaluation plots: mean per-packet latency, achieved throughput under
+// the target's core count and line rate, and drop/migration statistics.
+type Measurement struct {
+	Packets        int
+	MeanLatencyNs  float64
+	P99LatencyNs   float64
+	ThroughputGbps float64
+	DropRate       float64
+	MeanMigrations float64
+	VendorHitRate  float64
+	// MeanCounterUpdates is the average profiling counter increments per
+	// packet (Figure 12's x-axis).
+	MeanCounterUpdates float64
+}
+
+// Measure clones and processes each packet, returning aggregates. Input
+// packets are not mutated.
+func (n *NIC) Measure(pkts []*packet.Packet) Measurement {
+	return n.measure(pkts, 1)
+}
+
+// MeasureParallel processes the batch on `workers` goroutines, steering
+// packets to workers by flow hash so each flow stays on one core — the
+// run-to-completion multicore model. workers <= 0 uses GOMAXPROCS.
+func (n *NIC) MeasureParallel(pkts []*packet.Packet, workers int) Measurement {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return n.measure(pkts, workers)
+}
+
+func (n *NIC) measure(pkts []*packet.Packet, workers int) Measurement {
+	var m Measurement
+	if len(pkts) == 0 {
+		return m
+	}
+	lat := make([]float64, len(pkts))
+	var drops, migrations, vhits, counters int64
+	var wireBytes int64
+
+	process := func(lo, hi int) (d, mg, vh, cu, wb int64) {
+		for i := lo; i < hi; i++ {
+			p := pkts[i].Clone()
+			r := n.Process(p)
+			lat[i] = r.LatencyNs
+			if r.Dropped {
+				d++
+			}
+			mg += int64(r.Migrations)
+			if r.VendorCacheHit {
+				vh++
+			}
+			cu += int64(r.CounterUpdates)
+			wl := pkts[i].WireLen
+			if wl == 0 {
+				wl = 512
+			}
+			wb += int64(wl)
+		}
+		return
+	}
+
+	if workers <= 1 {
+		drops, migrations, vhits, counters, wireBytes = process(0, len(pkts))
+	} else {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		chunk := (len(pkts) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(pkts) {
+				hi = len(pkts)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				d, mg, vh, cu, wb := process(lo, hi)
+				mu.Lock()
+				drops += d
+				migrations += mg
+				vhits += vh
+				counters += cu
+				wireBytes += wb
+				mu.Unlock()
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+
+	var sum float64
+	for _, l := range lat {
+		sum += l
+	}
+	m.Packets = len(pkts)
+	m.MeanLatencyNs = sum / float64(len(pkts))
+	m.P99LatencyNs = percentile(lat, 0.99)
+	m.DropRate = float64(drops) / float64(len(pkts))
+	m.MeanMigrations = float64(migrations) / float64(len(pkts))
+	m.VendorHitRate = float64(vhits) / float64(len(pkts))
+	m.MeanCounterUpdates = float64(counters) / float64(len(pkts))
+	meanBytes := int(wireBytes / int64(len(pkts)))
+	m.ThroughputGbps = n.pm.ThroughputGbps(m.MeanLatencyNs, meanBytes)
+	return m
+}
+
+func percentile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -1,0 +1,547 @@
+package nicsim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"pipeleon/internal/costmodel"
+	"pipeleon/internal/p4ir"
+	"pipeleon/internal/packet"
+	"pipeleon/internal/profile"
+	"pipeleon/internal/stats"
+)
+
+// Pipeline identifies which processing engine a table executes on in a
+// heterogeneous target (§3.2.4).
+type Pipeline int
+
+const (
+	// ASIC is the fast hardware pipeline.
+	ASIC Pipeline = iota
+	// CPU is the slower software pipeline (latencies scaled by
+	// Params.CPUSlowdown).
+	CPU
+)
+
+// Config configures a NIC instance.
+type Config struct {
+	// Params is the target cost/performance model.
+	Params costmodel.Params
+	// CPUTables places tables on the CPU pipeline. Tables marked
+	// Unsupported in the IR are forced onto the CPU regardless.
+	CPUTables map[string]bool
+	// CopiedTables exist on both pipelines (table copying, §3.2.4): the
+	// packet executes them wherever it currently is, avoiding migration.
+	CopiedTables map[string]bool
+	// VendorCache enables a Netronome-style built-in whole-program flow
+	// cache keyed on the 5-tuple (§5.2.1: "Netronome SmartNICs have a
+	// vendor-native flow cache feature for the whole program").
+	VendorCache bool
+	// VendorCacheBudget is its LRU capacity (entries).
+	VendorCacheBudget int
+	// CondFuncs supplies evaluators for conditional expressions the
+	// built-in compiler cannot parse.
+	CondFuncs map[string]CondFunc
+	// Collector receives profiling counters when Instrument is true.
+	Collector *profile.Collector
+	// Instrument enables per-packet counter updates (and their latency
+	// cost, §5.4.1).
+	Instrument bool
+	// Seed / NoiseStdDev add deterministic multiplicative measurement
+	// noise, so "hardware measurements" differ from model predictions the
+	// way real measurements do (Figure 5's ~5% deviation).
+	Seed        uint64
+	NoiseStdDev float64
+	// MaxSteps guards against miswired programs (0 = auto).
+	MaxSteps int
+	// CacheFillCostNs is charged to the packet that installs a cache
+	// entry: on real NICs, entry insertions compete with packet
+	// processing for table-update bandwidth, which is what makes
+	// frequently-invalidated caches catastrophic (Figure 11a's 20 Gb/s
+	// collapse under an insertion burst).
+	CacheFillCostNs float64
+	// PerPacketOverheadNs is a fixed per-packet cost (parsing, steering,
+	// DMA) the closed-form cost model deliberately does not include —
+	// the paper's regression absorbs it into the constants B1/B2. It is
+	// what makes Figure 5's model-vs-measurement comparison non-trivial.
+	PerPacketOverheadNs float64
+	// SampleCheckFraction is the cost (as a fraction of one counter
+	// update) each instrumentation point charges packets that are NOT
+	// sampled — the per-site sampling test is not free on hardware,
+	// which is why 1/1024 sampling still costs ~4-5% on Agilio CX
+	// (§5.4.1). Default 0.25 when Instrument is set.
+	SampleCheckFraction float64
+}
+
+// NIC is one emulated SmartNIC running a program.
+type NIC struct {
+	mu     sync.RWMutex
+	prog   *p4ir.Program
+	cfg    Config
+	pm     costmodel.Params
+	tables map[string]*runtimeTable
+	conds  map[string]CondFunc
+	caches map[string]*flowCache
+	// coveredBy maps a table to the runtime caches that must invalidate
+	// when it changes.
+	coveredBy   map[string][]*flowCache
+	vendorCache *flowCache
+
+	noiseMu sync.Mutex
+	noise   *stats.RNG
+
+	statMu       sync.Mutex
+	updateCounts map[string]uint64
+	processed    uint64
+	dropped      uint64
+}
+
+// New builds a NIC executing prog under cfg.
+func New(prog *p4ir.Program, cfg Config) (*NIC, error) {
+	n := &NIC{
+		cfg:          cfg,
+		pm:           cfg.Params,
+		noise:        stats.NewRNG(cfg.Seed + 1),
+		updateCounts: map[string]uint64{},
+	}
+	if err := n.load(prog); err != nil {
+		return nil, err
+	}
+	if cfg.VendorCache {
+		budget := cfg.VendorCacheBudget
+		if budget <= 0 {
+			budget = 1 << 16
+		}
+		n.vendorCache = newFlowCache(p4ir.CacheSpec{
+			Table: "__vendor_cache", Kind: p4ir.KindCache, Budget: budget,
+		}, nil)
+	}
+	return n, nil
+}
+
+// load compiles a program into runtime structures (callers hold no lock or
+// the write lock). Runtime caches whose identity (name + covered span +
+// budget) is unchanged keep their contents — live reconfiguration on
+// runtime-programmable SmartNICs preserves state that the new layout
+// still uses, so a re-optimization that keeps a cache does not cold-start
+// it.
+func (n *NIC) load(prog *p4ir.Program) error {
+	if err := prog.Validate(); err != nil {
+		return err
+	}
+	tables := make(map[string]*runtimeTable, len(prog.Tables))
+	conds := make(map[string]CondFunc, len(prog.Conds))
+	caches := map[string]*flowCache{}
+	coveredBy := map[string][]*flowCache{}
+	for name, t := range prog.Tables {
+		rt, err := buildTable(t, n.pm.LPMFixedM, n.pm.TernaryFixedM)
+		if err != nil {
+			return err
+		}
+		tables[name] = rt
+		if spec, ok := t.CacheMeta(); ok && !spec.Prepopulated {
+			fields := make([]string, len(t.Keys))
+			for i, k := range t.Keys {
+				fields[i] = k.Field
+			}
+			var fc *flowCache
+			if old, exists := n.caches[name]; exists && sameCacheIdentity(old.spec, spec) {
+				old.mu.Lock()
+				old.spec = spec // routing may have changed; contents survive
+				old.mu.Unlock()
+				fc = old
+			} else {
+				fc = newFlowCache(spec, fields)
+			}
+			caches[name] = fc
+			for _, covered := range spec.Covers {
+				coveredBy[covered] = append(coveredBy[covered], fc)
+			}
+		}
+	}
+	for name, c := range prog.Conds {
+		f, err := compileCond(c.Expr, n.cfg.CondFuncs)
+		if err != nil {
+			return err
+		}
+		conds[name] = f
+	}
+	n.prog = prog
+	n.tables = tables
+	n.conds = conds
+	n.caches = caches
+	n.coveredBy = coveredBy
+	return nil
+}
+
+// sameCacheIdentity reports whether two cache specs describe the same
+// cache (same covered span and budget), so its contents may survive a
+// program swap.
+func sameCacheIdentity(a, b p4ir.CacheSpec) bool {
+	if a.Table != b.Table || a.Budget != b.Budget || len(a.Covers) != len(b.Covers) {
+		return false
+	}
+	for i := range a.Covers {
+		if a.Covers[i] != b.Covers[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Swap atomically replaces the running program — the live runtime
+// reconfiguration of runtime-programmable SmartNICs (§2.3 deployment
+// scenario 1). Runtime cache contents do not survive a swap.
+func (n *NIC) Swap(prog *p4ir.Program) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.load(prog.Clone())
+}
+
+// Program returns the currently loaded program (callers must not mutate).
+func (n *NIC) Program() *p4ir.Program {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.prog
+}
+
+// Result reports the outcome of processing one packet.
+type Result struct {
+	Dropped bool
+	// LatencyNs is the emulated per-packet latency under the target's
+	// cost parameters, including migration and instrumentation overhead
+	// and measurement noise.
+	LatencyNs float64
+	// Path lists the nodes traversed.
+	Path []string
+	// Migrations counts ASIC<->CPU transitions.
+	Migrations int
+	// CounterUpdates counts profiling counter increments charged.
+	CounterUpdates int
+	// VendorCacheHit marks packets short-circuited by the built-in cache.
+	VendorCacheHit bool
+}
+
+type activeFill struct {
+	cache  *flowCache
+	key    string
+	res    cachedResult
+	covers map[string]bool // nil = every table (vendor cache)
+}
+
+// Process runs one packet through the program, mutating it in place, and
+// returns the emulated result.
+func (n *NIC) Process(pkt *packet.Packet) Result {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+
+	var res Result
+	lat := n.cfg.PerPacketOverheadNs
+	col := n.cfg.Collector
+	sampled := false
+	if n.cfg.Instrument && col != nil {
+		sampled = col.Sampled()
+	}
+	charge := func(c float64, mult float64) { lat += c * mult }
+	sampleCheck := n.cfg.SampleCheckFraction
+	if n.cfg.Instrument && sampleCheck == 0 {
+		sampleCheck = 0.15
+	}
+	counter := func(record func(), mult float64) {
+		if sampled {
+			record()
+			res.CounterUpdates++
+			lat += n.pm.CounterUpdate * mult
+		} else if n.cfg.Instrument {
+			// The per-site sampling test is not free (§5.4.1).
+			lat += sampleCheck * n.pm.CounterUpdate * mult
+		}
+	}
+
+	if sampled && col != nil {
+		col.RecordFlow(pkt.Flow().FastHash())
+	}
+
+	var fills []activeFill
+	// Vendor cache front-end.
+	if n.vendorCache != nil {
+		key := vendorKey(pkt)
+		lat += n.pm.Lmat
+		if r, ok := n.vendorCache.get(key); ok {
+			for _, w := range r.writes {
+				_ = pkt.Set(w.field, w.value)
+			}
+			lat += float64(len(r.writes)) * n.pm.Lact
+			res.VendorCacheHit = true
+			res.Dropped = r.dropped
+			res.LatencyNs = n.applyNoise(lat)
+			n.note(res.Dropped)
+			return res
+		}
+		fills = append(fills, activeFill{cache: n.vendorCache, key: key})
+	}
+
+	cur := n.prog.Root
+	pipeline := ASIC
+	maxSteps := n.cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 4*n.prog.NumNodes() + 16
+	}
+	now := time.Now()
+	dropped := false
+
+	for steps := 0; cur != "" && steps < maxSteps; steps++ {
+		res.Path = append(res.Path, cur)
+		if t, c := n.prog.Node(cur); t != nil {
+			// Pipeline placement and migration.
+			target := n.placement(t)
+			if target != pipeline && !n.cfg.CopiedTables[t.Name] {
+				charge(n.pm.MigrationLatency, 1)
+				res.Migrations++
+				pipeline = target
+			}
+			mult := 1.0
+			if pipeline == CPU {
+				mult = n.pm.CPUSlowdown
+				if mult <= 0 {
+					mult = 1
+				}
+			}
+			rt := n.tables[cur]
+			if fc, isCache := n.caches[cur]; isCache {
+				key := n.gatherKey(rt, pkt)
+				charge(n.pm.Lmat, mult)
+				if r, ok := fc.get(key); ok {
+					for _, w := range r.writes {
+						_ = pkt.Set(w.field, w.value)
+					}
+					charge(float64(len(r.writes))*n.pm.Lact, mult)
+					counter(func() {
+						col.RecordCache(cur, true)
+						col.RecordAction(cur, "cache_hit")
+					}, mult)
+					if r.dropped {
+						dropped = true
+						break
+					}
+					cur = fc.spec.HitNext
+					continue
+				}
+				counter(func() {
+					col.RecordCache(cur, false)
+					col.RecordAction(cur, "cache_miss")
+				}, mult)
+				covers := map[string]bool{}
+				for _, cov := range fc.spec.Covers {
+					covers[cov] = true
+				}
+				fills = append(fills, activeFill{cache: fc, key: key, covers: covers})
+				cur = fc.spec.MissNext
+				continue
+			}
+
+			// Ordinary (or pre-populated merged-cache) table.
+			values := n.gatherValues(rt, pkt)
+			if sampled && col != nil && len(values) > 0 {
+				col.RecordKey(cur, foldValues(values))
+			}
+			lr := rt.lookup(values)
+			act := rt.defaultAction
+			var entryArgs []string
+			if lr.hit {
+				act = lr.entry.action
+				entryArgs = lr.entry.entry.Args
+			}
+			charge(float64(lr.probes)*n.pm.Lmat*n.pm.TierFactor(t), mult)
+			if act == nil {
+				// Table with no actions: pure forwarding node.
+				cur = t.BaseNext
+				continue
+			}
+			charge(float64(len(act.Primitives))*n.pm.Lact, mult)
+			counter(func() {
+				col.RecordAction(cur, act.Name)
+				if spec, ok := t.CacheMeta(); ok && spec.Prepopulated {
+					col.RecordCache(cur, act.Name != "cache_miss")
+				}
+			}, mult)
+			writes, didDrop := applyAction(pkt, act, entryArgs)
+			for fi := range fills {
+				f := &fills[fi]
+				if f.covers == nil || f.covers[cur] {
+					f.res.writes = append(f.res.writes, writes...)
+					if didDrop {
+						f.res.dropped = true
+					}
+				}
+			}
+			if didDrop {
+				dropped = true
+				break
+			}
+			cur = t.NextFor(act.Name)
+		} else if c != nil {
+			mult := 1.0
+			if pipeline == CPU {
+				mult = n.pm.CPUSlowdown
+			}
+			charge(n.pm.CondLatency(), mult)
+			taken := n.conds[cur](pkt)
+			counter(func() { col.RecordBranch(cur, taken) }, mult)
+			if taken {
+				cur = c.TrueNext
+			} else {
+				cur = c.FalseNext
+			}
+		} else {
+			break
+		}
+	}
+
+	// Finalize cache fills. Installing entries consumes entry-insertion
+	// bandwidth; the cost is charged once per packet (inserts into
+	// multiple caches are pipelined by the hardware update engine).
+	filled := false
+	for _, f := range fills {
+		if f.cache.put(f.key, f.res, now) {
+			filled = true
+		}
+	}
+	if filled {
+		lat += n.cfg.CacheFillCostNs
+	}
+	res.Dropped = dropped
+	res.LatencyNs = n.applyNoise(lat)
+	n.note(dropped)
+	return res
+}
+
+func (n *NIC) note(dropped bool) {
+	n.statMu.Lock()
+	n.processed++
+	if dropped {
+		n.dropped++
+	}
+	n.statMu.Unlock()
+}
+
+func (n *NIC) applyNoise(lat float64) float64 {
+	if n.cfg.NoiseStdDev <= 0 {
+		return lat
+	}
+	n.noiseMu.Lock()
+	f := 1 + n.noise.NormFloat64()*n.cfg.NoiseStdDev
+	n.noiseMu.Unlock()
+	if f < 0.5 {
+		f = 0.5
+	}
+	return lat * f
+}
+
+// placement returns the pipeline a table executes on.
+func (n *NIC) placement(t *p4ir.Table) Pipeline {
+	if t.Unsupported || n.cfg.CPUTables[t.Name] {
+		return CPU
+	}
+	return ASIC
+}
+
+func (n *NIC) gatherValues(rt *runtimeTable, pkt *packet.Packet) []uint64 {
+	values := make([]uint64, len(rt.fields))
+	for i, f := range rt.fields {
+		v, _ := pkt.Get(f)
+		w := rt.widths[i]
+		if w < 64 {
+			v &= (uint64(1) << w) - 1
+		}
+		values[i] = v
+	}
+	return values
+}
+
+func (n *NIC) gatherKey(rt *runtimeTable, pkt *packet.Packet) string {
+	values := n.gatherValues(rt, pkt)
+	b := make([]byte, 8*len(values))
+	for i, v := range values {
+		for j := 0; j < 8; j++ {
+			b[i*8+j] = byte(v >> (56 - 8*j))
+		}
+	}
+	return string(b)
+}
+
+func vendorKey(pkt *packet.Packet) string {
+	k := pkt.Flow()
+	return fmt.Sprintf("%08x%08x%04x%04x%02x", k.SrcAddr, k.DstAddr, k.SrcPort, k.DstPort, k.Proto)
+}
+
+func foldValues(values []uint64) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, v := range values {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}
+
+// resolveArg evaluates a primitive operand: "$i" reads entry action data,
+// a dotted name reads a packet field, anything else parses as a literal.
+func resolveArg(pkt *packet.Packet, arg string, entryArgs []string) uint64 {
+	if strings.HasPrefix(arg, "$") {
+		if i, err := strconv.Atoi(arg[1:]); err == nil && i >= 0 && i < len(entryArgs) {
+			return resolveArg(pkt, entryArgs[i], nil)
+		}
+		return 0
+	}
+	if p4ir.IsFieldRef(arg) {
+		v, _ := pkt.Get(arg)
+		return v
+	}
+	v, _ := strconv.ParseUint(arg, 0, 64)
+	return v
+}
+
+// applyAction executes an action's primitives against the packet,
+// returning the field writes performed and whether the packet dropped.
+func applyAction(pkt *packet.Packet, act *p4ir.Action, entryArgs []string) (writes []fieldWrite, dropped bool) {
+	for _, prim := range act.Primitives {
+		switch prim.Op {
+		case "drop", "mark_to_drop":
+			return writes, true
+		case "modify_field":
+			if len(prim.Args) >= 2 {
+				v := resolveArg(pkt, prim.Args[1], entryArgs)
+				if err := pkt.Set(prim.Args[0], v); err == nil {
+					writes = append(writes, fieldWrite{field: prim.Args[0], value: v})
+				}
+			}
+		case "add", "subtract":
+			if len(prim.Args) >= 3 {
+				a := resolveArg(pkt, prim.Args[1], entryArgs)
+				b := resolveArg(pkt, prim.Args[2], entryArgs)
+				v := a + b
+				if prim.Op == "subtract" {
+					v = a - b
+				}
+				if err := pkt.Set(prim.Args[0], v); err == nil {
+					writes = append(writes, fieldWrite{field: prim.Args[0], value: v})
+				}
+			}
+		case "forward":
+			if len(prim.Args) >= 1 {
+				v := resolveArg(pkt, prim.Args[0], entryArgs)
+				_ = pkt.Set("meta.egress_port", v)
+				writes = append(writes, fieldWrite{field: "meta.egress_port", value: v})
+			}
+		case "no_op", "count":
+			// No packet effect; latency already charged per primitive.
+		}
+	}
+	return writes, false
+}

@@ -1,0 +1,112 @@
+package nicsim
+
+import (
+	"context"
+	"sync"
+
+	"pipeleon/internal/packet"
+)
+
+// Streaming mode: a goroutine per emulated core, with packets steered to
+// cores by flow hash — the run-to-completion model of Figure 1, where a
+// packet is assigned to one processing engine and stays there. Unlike
+// Measure (batch, latency accounting only), the stream keeps per-core
+// ordering within a flow and exposes results as they complete, which is
+// what a forwarding application consuming the emulator would use.
+
+// StreamResult pairs a processed packet with its outcome.
+type StreamResult struct {
+	Packet *packet.Packet
+	Result Result
+	// Core is the engine that processed the packet.
+	Core int
+}
+
+// StreamStats aggregates a finished stream.
+type StreamStats struct {
+	Packets   uint64
+	Dropped   uint64
+	PerCore   []uint64
+	MeanLatNs float64
+}
+
+// RunStream processes packets from in until it closes or ctx is done,
+// fanning out to `cores` worker goroutines (<=0 uses the target's core
+// count). Packets of the same flow always land on the same core. The
+// returned channel closes after the last result.
+func (n *NIC) RunStream(ctx context.Context, in <-chan *packet.Packet, cores int) <-chan StreamResult {
+	if cores <= 0 {
+		cores = n.pm.Cores
+		if cores <= 0 {
+			cores = 1
+		}
+	}
+	out := make(chan StreamResult, cores*4)
+	coreIn := make([]chan *packet.Packet, cores)
+	for i := range coreIn {
+		coreIn[i] = make(chan *packet.Packet, 64)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < cores; i++ {
+		wg.Add(1)
+		go func(core int) {
+			defer wg.Done()
+			for pkt := range coreIn[core] {
+				res := n.Process(pkt)
+				select {
+				case out <- StreamResult{Packet: pkt, Result: res, Core: core}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}(i)
+	}
+	// Steering goroutine: flow hash -> core, so each flow is processed
+	// in order by a single engine.
+	go func() {
+		defer func() {
+			for _, c := range coreIn {
+				close(c)
+			}
+			wg.Wait()
+			close(out)
+		}()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case pkt, ok := <-in:
+				if !ok {
+					return
+				}
+				core := int(pkt.Flow().FastHash() % uint64(cores))
+				select {
+				case coreIn[core] <- pkt:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+	return out
+}
+
+// DrainStream consumes a stream to completion and aggregates statistics.
+func DrainStream(results <-chan StreamResult, cores int) StreamStats {
+	stats := StreamStats{PerCore: make([]uint64, cores)}
+	var latSum float64
+	for r := range results {
+		stats.Packets++
+		if r.Result.Dropped {
+			stats.Dropped++
+		}
+		if r.Core >= 0 && r.Core < len(stats.PerCore) {
+			stats.PerCore[r.Core]++
+		}
+		latSum += r.Result.LatencyNs
+	}
+	if stats.Packets > 0 {
+		stats.MeanLatNs = latSum / float64(stats.Packets)
+	}
+	return stats
+}

@@ -1,0 +1,127 @@
+package nicsim
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pipeleon/internal/p4ir"
+	"pipeleon/internal/packet"
+	"pipeleon/internal/trafficgen"
+)
+
+func streamNIC(t *testing.T) *NIC {
+	t.Helper()
+	prog, err := p4ir.ChainTables("s", []p4ir.TableSpec{
+		exactTable("t1", "ipv4.dstAddr", "t2", e("hit_act", 5)),
+		{Name: "t2",
+			Keys:          []p4ir.Key{{Field: "tcp.dport", Kind: p4ir.MatchExact, Width: 16}},
+			Actions:       []*p4ir.Action{p4ir.DropAction(), p4ir.NoopAction("allow")},
+			DefaultAction: "allow",
+			Entries:       []p4ir.Entry{e("drop_packet", 23)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nic, err := New(prog, Config{Params: testParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nic
+}
+
+func TestRunStreamProcessesAll(t *testing.T) {
+	nic := streamNIC(t)
+	gen := trafficgen.New(1, 0)
+	gen.AddFlows(trafficgen.DropTargetedFlows(2, 64, "tcp.dport", 23, 0.5)...)
+	const n = 4000
+	in := make(chan *packet.Packet, 128)
+	go func() {
+		for _, p := range gen.Batch(n) {
+			in <- p
+		}
+		close(in)
+	}()
+	const cores = 4
+	stats := DrainStream(nic.RunStream(context.Background(), in, cores), cores)
+	if stats.Packets != n {
+		t.Fatalf("processed %d, want %d", stats.Packets, n)
+	}
+	frac := float64(stats.Dropped) / float64(stats.Packets)
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("drop fraction %v, want ~0.5", frac)
+	}
+	var used int
+	var total uint64
+	for _, c := range stats.PerCore {
+		if c > 0 {
+			used++
+		}
+		total += c
+	}
+	if total != n {
+		t.Errorf("per-core sum %d != %d", total, n)
+	}
+	if used < 2 {
+		t.Errorf("only %d cores used; flow steering should spread 64 flows", used)
+	}
+	if stats.MeanLatNs <= 0 {
+		t.Error("mean latency missing")
+	}
+}
+
+func TestRunStreamFlowAffinity(t *testing.T) {
+	nic := streamNIC(t)
+	// Two flows, many packets: each flow must map to exactly one core.
+	flows := []trafficgen.Flow{
+		{Src: 1, Dst: 2, SPort: 10, DPort: 80},
+		{Src: 3, Dst: 4, SPort: 20, DPort: 81},
+	}
+	in := make(chan *packet.Packet, 16)
+	go func() {
+		gen := trafficgen.New(9, 0)
+		gen.AddFlows(flows...)
+		for _, p := range gen.Batch(500) {
+			in <- p
+		}
+		close(in)
+	}()
+	coreOf := map[packet.FlowKey]map[int]bool{}
+	for r := range nic.RunStream(context.Background(), in, 8) {
+		k := r.Packet.Flow()
+		if coreOf[k] == nil {
+			coreOf[k] = map[int]bool{}
+		}
+		coreOf[k][r.Core] = true
+	}
+	for k, cores := range coreOf {
+		if len(cores) != 1 {
+			t.Errorf("flow %+v hit %d cores, want exactly 1", k, len(cores))
+		}
+	}
+}
+
+func TestRunStreamCancellation(t *testing.T) {
+	nic := streamNIC(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan *packet.Packet)
+	out := nic.RunStream(ctx, in, 2)
+	// Feed a few packets, then cancel with the input still open.
+	gen := trafficgen.New(5, 0)
+	gen.AddFlows(trafficgen.UniformFlows(6, 8)...)
+	for i := 0; i < 10; i++ {
+		in <- gen.Next()
+	}
+	cancel()
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case _, ok := <-out:
+			if !ok {
+				return // closed cleanly
+			}
+		case <-deadline:
+			t.Fatal("stream did not shut down after cancellation")
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package nicsim is the software SmartNIC emulator: a multicore
+// run-to-completion packet processing engine executing p4ir programs with
+// per-packet cycle accounting driven by a costmodel.Params target.
+//
+// It reproduces (from scratch) the role of the paper's BMv2-based emulator
+// (§5.1 setup 3) and stands in for the BlueField2 and Agilio CX hardware:
+// exact tables are single hash tables, LPM tables one hash table per
+// distinct prefix length, ternary tables one hash table per distinct mask
+// — so the number of probes the emulator actually performs is exactly the
+// m the cost model charges, making cost-model validation (Figure 5) a
+// genuine cross-check of two independent code paths.
+package nicsim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"pipeleon/internal/p4ir"
+)
+
+// maskSig identifies one hash-table group: the tuple of masks applied to
+// the key fields.
+type maskSig string
+
+func sigOf(masks []uint64) maskSig {
+	b := make([]byte, 8*len(masks))
+	for i, m := range masks {
+		binary.BigEndian.PutUint64(b[i*8:], m)
+	}
+	return maskSig(b)
+}
+
+// maskGroup is one hash table of a multi-hash-table match structure.
+type maskGroup struct {
+	masks []uint64
+	// prio orders groups: for LPM, total prefix bits (longer wins); for
+	// ternary the max entry priority is tracked per entry instead.
+	prefixBits int
+	entries    map[string]*storedEntry
+}
+
+type storedEntry struct {
+	entry    p4ir.Entry
+	action   *p4ir.Action
+	priority int
+}
+
+// runtimeTable is the executable form of a p4ir.Table.
+type runtimeTable struct {
+	tbl    *p4ir.Table
+	kind   p4ir.MatchKind // widest
+	fields []string
+	widths []int
+	// groups, probe order: exact = 1 group; LPM = descending prefix bits;
+	// ternary = all groups probed, best priority wins.
+	groups []*maskGroup
+	// defaultAction executes on miss.
+	defaultAction *p4ir.Action
+	// fixedM optionally overrides the probe charge (emulated-NIC models
+	// that fix LPM/ternary cost).
+	fixedM int
+}
+
+// buildTable compiles a table's entries into its lookup structure.
+func buildTable(t *p4ir.Table, fixedLPM, fixedTernary int) (*runtimeTable, error) {
+	rt := &runtimeTable{
+		tbl:  t,
+		kind: t.WidestMatchKind(),
+	}
+	for _, k := range t.Keys {
+		rt.fields = append(rt.fields, k.Field)
+		rt.widths = append(rt.widths, k.BitWidth())
+	}
+	if t.DefaultAction != "" {
+		rt.defaultAction = t.Action(t.DefaultAction)
+	} else if len(t.Actions) > 0 {
+		rt.defaultAction = t.Actions[len(t.Actions)-1]
+	}
+	switch rt.kind {
+	case p4ir.MatchLPM:
+		rt.fixedM = fixedLPM
+	case p4ir.MatchTernary, p4ir.MatchRange:
+		rt.fixedM = fixedTernary
+	}
+	bysig := map[maskSig]*maskGroup{}
+	for i := range t.Entries {
+		e := &t.Entries[i]
+		masks, prefixBits, err := entryMasks(t, e)
+		if err != nil {
+			return nil, fmt.Errorf("table %q entry %d: %w", t.Name, i, err)
+		}
+		sig := sigOf(masks)
+		g := bysig[sig]
+		if g == nil {
+			g = &maskGroup{masks: masks, prefixBits: prefixBits, entries: map[string]*storedEntry{}}
+			bysig[sig] = g
+			rt.groups = append(rt.groups, g)
+		}
+		key := maskedKey(entryValues(e), masks)
+		act := t.Action(e.Action)
+		if act == nil {
+			return nil, fmt.Errorf("table %q entry %d: unknown action %q", t.Name, i, e.Action)
+		}
+		prev, exists := g.entries[key]
+		if !exists || e.Priority > prev.priority {
+			g.entries[key] = &storedEntry{entry: *e, action: act, priority: e.Priority}
+		}
+	}
+	// Probe order: LPM longest prefix first; others stable by signature.
+	sort.SliceStable(rt.groups, func(i, j int) bool {
+		return rt.groups[i].prefixBits > rt.groups[j].prefixBits
+	})
+	return rt, nil
+}
+
+// entryMasks derives the per-key masks of an entry based on key kinds.
+func entryMasks(t *p4ir.Table, e *p4ir.Entry) (masks []uint64, prefixBits int, err error) {
+	if len(e.Match) != len(t.Keys) {
+		return nil, 0, fmt.Errorf("%d match values for %d keys", len(e.Match), len(t.Keys))
+	}
+	masks = make([]uint64, len(t.Keys))
+	for i, k := range t.Keys {
+		switch k.Kind {
+		case p4ir.MatchExact:
+			masks[i] = k.FullMask()
+			prefixBits += k.BitWidth()
+		case p4ir.MatchLPM:
+			masks[i] = k.PrefixMask(e.Match[i].PrefixLen)
+			prefixBits += e.Match[i].PrefixLen
+		case p4ir.MatchTernary, p4ir.MatchRange:
+			masks[i] = e.Match[i].Mask
+		}
+	}
+	return masks, prefixBits, nil
+}
+
+func entryValues(e *p4ir.Entry) []uint64 {
+	vals := make([]uint64, len(e.Match))
+	for i, m := range e.Match {
+		vals[i] = m.Value
+	}
+	return vals
+}
+
+// maskedKey builds the hash key from masked field values.
+func maskedKey(values, masks []uint64) string {
+	b := make([]byte, 8*len(values))
+	for i := range values {
+		binary.BigEndian.PutUint64(b[i*8:], values[i]&masks[i])
+	}
+	return string(b)
+}
+
+// lookupResult is the outcome of one key match.
+type lookupResult struct {
+	entry *storedEntry
+	// probes is the number of hash-table accesses performed — the m the
+	// target charges (or fixedM when the model pins it).
+	probes int
+	hit    bool
+}
+
+// lookup matches the field values against the table.
+func (rt *runtimeTable) lookup(values []uint64) lookupResult {
+	res := lookupResult{}
+	switch rt.kind {
+	case p4ir.MatchExact:
+		res.probes = 1
+		if len(rt.groups) > 0 {
+			if se, ok := rt.groups[0].entries[maskedKey(values, rt.groups[0].masks)]; ok {
+				res.entry, res.hit = se, true
+			}
+		}
+	case p4ir.MatchLPM:
+		// Probe longest-prefix groups first; stop at the first hit
+		// conceptually, but hardware probes every bank — charge them all
+		// (m = number of distinct prefix lengths).
+		res.probes = len(rt.groups)
+		if res.probes == 0 {
+			res.probes = 1
+		}
+		for _, g := range rt.groups {
+			if se, ok := g.entries[maskedKey(values, g.masks)]; ok {
+				res.entry, res.hit = se, true
+				break
+			}
+		}
+	default: // ternary / range: probe all groups, best priority wins.
+		res.probes = len(rt.groups)
+		if res.probes == 0 {
+			res.probes = 1
+		}
+		for _, g := range rt.groups {
+			if se, ok := g.entries[maskedKey(values, g.masks)]; ok {
+				if res.entry == nil || se.priority > res.entry.priority {
+					res.entry, res.hit = se, true
+				}
+			}
+		}
+	}
+	if rt.fixedM > 0 {
+		res.probes = rt.fixedM
+	}
+	return res
+}
+
+// numGroups reports the live m of the table (distinct masks/prefixes).
+func (rt *runtimeTable) numGroups() int {
+	if rt.fixedM > 0 {
+		return rt.fixedM
+	}
+	if len(rt.groups) == 0 {
+		return 1
+	}
+	return len(rt.groups)
+}

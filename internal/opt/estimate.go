@@ -1,0 +1,432 @@
+package opt
+
+import (
+	"pipeleon/internal/costmodel"
+	"pipeleon/internal/deps"
+	"pipeleon/internal/p4ir"
+	"pipeleon/internal/pipelet"
+	"pipeleon/internal/profile"
+)
+
+// Evaluator scores candidate transformations with the cost model under the
+// current runtime profile. It caches per-table quantities so that the
+// (many) candidates of a search round evaluate in microseconds.
+type Evaluator struct {
+	prog *p4ir.Program
+	prof *profile.Profile
+	pm   costmodel.Params
+	cfg  Config
+	an   *deps.Analyzer
+
+	reach    map[string]float64
+	dropRate map[string]float64
+	// matchLat / actLat split each table's latency into the key-match part
+	// (m·Lmat) and the expected action part (Σ P(a)·n_a·Lact).
+	matchLat map[string]float64
+	actLat   map[string]float64
+	card     map[string]uint64
+	entries  map[string]int
+}
+
+// NewEvaluator precomputes per-table model quantities.
+func NewEvaluator(prog *p4ir.Program, prof *profile.Profile, pm costmodel.Params, cfg Config) *Evaluator {
+	ev := &Evaluator{
+		prog: prog, prof: prof, pm: pm, cfg: cfg,
+		an:       deps.NewAnalyzer(prog),
+		reach:    prof.ReachProbs(prog),
+		dropRate: map[string]float64{},
+		matchLat: map[string]float64{},
+		actLat:   map[string]float64{},
+		card:     map[string]uint64{},
+		entries:  map[string]int{},
+	}
+	for name, t := range prog.Tables {
+		ev.dropRate[name] = prof.DropProb(t)
+		ev.matchLat[name] = float64(pm.MatchComplexity(t)) * pm.Lmat
+		probs := prof.ActionProb(t)
+		var act float64
+		for _, a := range t.Actions {
+			act += probs[a.Name] * float64(a.NumPrimitives()) * pm.Lact
+		}
+		ev.actLat[name] = act
+		ev.card[name] = prof.Cardinality(name, cfg.DefaultCardinality)
+		ev.entries[name] = len(t.Entries)
+	}
+	return ev
+}
+
+// Analyzer exposes the dependency analyzer (shared with rewriting).
+func (ev *Evaluator) Analyzer() *deps.Analyzer { return ev.an }
+
+// elemKind labels one element of a transformed pipelet layout.
+type elemKind int
+
+const (
+	elemTable elemKind = iota
+	elemCache
+	elemMerge
+)
+
+type seqElem struct {
+	kind   elemKind
+	tables []string
+}
+
+// buildSequence lays out the pipelet as a sequence of plain tables and
+// segment elements, in order.
+func buildSequence(order []string, segs []Segment) []seqElem {
+	covered := map[int]int{} // position -> segment index
+	for si, s := range segs {
+		for i := s.Start; i < s.Start+s.Len; i++ {
+			covered[i] = si
+		}
+	}
+	var out []seqElem
+	for i := 0; i < len(order); {
+		if si, ok := covered[i]; ok {
+			s := segs[si]
+			kind := elemCache
+			if s.Kind == SegMerge {
+				kind = elemMerge
+			}
+			out = append(out, seqElem{kind: kind, tables: order[s.Start : s.Start+s.Len]})
+			i += s.Len
+		} else {
+			out = append(out, seqElem{kind: elemTable, tables: order[i : i+1]})
+			i++
+		}
+	}
+	return out
+}
+
+// spanStats aggregates the model quantities of a table span: the original
+// per-entering-packet cost, the expected combined action cost, and the
+// span's aggregate drop probability. Within the span, traffic surviving
+// table i proceeds to table i+1.
+func (ev *Evaluator) spanStats(tables []string) (origCost, actSum, dropProb float64) {
+	flow := 1.0
+	for _, t := range tables {
+		origCost += flow * (ev.matchLat[t] + ev.actLat[t])
+		actSum += flow * ev.actLat[t]
+		flow *= 1 - ev.dropRate[t]
+	}
+	return origCost, actSum, 1 - flow
+}
+
+// workingSet is the cross-product cardinality of a span's cache key
+// (§3.2.2: "n header fields could produce up to S1·S2·...·Sn cache
+// entries"), saturating to avoid overflow. Because every cache key is a
+// function of the packet's flow, the working set is additionally bounded
+// by the observed flow cardinality — a handful of long-lived flows keeps
+// even a whole-program cache hot regardless of the field cross-product.
+func (ev *Evaluator) workingSet(tables []string) uint64 {
+	const sat = 1 << 40
+	ws := uint64(1)
+	for _, t := range tables {
+		c := ev.card[t]
+		if c == 0 {
+			c = 1
+		}
+		if ws > sat/c {
+			ws = sat
+			break
+		}
+		ws *= c
+	}
+	if fc := ev.prof.FlowCardinality; fc > 0 && fc < ws {
+		ws = fc
+	}
+	return ws
+}
+
+// allExact reports whether every table in the span matches exactly.
+func (ev *Evaluator) allExact(tables []string) bool {
+	for _, t := range tables {
+		if ev.prog.Tables[t].WidestMatchKind() != p4ir.MatchExact {
+			return false
+		}
+	}
+	return true
+}
+
+// mergedM is the match complexity of an in-place (non-cache) merge: each
+// combination of member masks is a distinct mask of the merged table, so m
+// multiplies (capped). Merging ternary tables therefore usually loses —
+// exactly the hazard Figure 6 illustrates — and such candidates fall out of
+// the search on gain.
+func (ev *Evaluator) mergedM(tables []string) int {
+	const cap = 64
+	m := 1
+	for _, t := range tables {
+		m *= ev.pm.MatchComplexity(ev.prog.Tables[t])
+		if m > cap {
+			return cap
+		}
+	}
+	return m
+}
+
+// seqLatency returns the expected per-packet latency of a pipelet layout
+// for one packet entering the pipelet.
+func (ev *Evaluator) seqLatency(elems []seqElem) float64 {
+	flow := 1.0
+	var total float64
+	for _, e := range elems {
+		switch e.kind {
+		case elemTable:
+			t := e.tables[0]
+			total += flow * (ev.matchLat[t] + ev.actLat[t])
+			flow *= 1 - ev.dropRate[t]
+		case elemCache:
+			origCost, actSum, dropP := ev.spanStats(e.tables)
+			h := ev.cfg.hitEstimate(SpanKey(e.tables), ev.workingSet(e.tables))
+			// Entry updates in any covered table invalidate the whole
+			// cache; discount the hit estimate by the aggregate update
+			// rate (§3.2.2).
+			if ev.cfg.InvalidationPenalty > 0 {
+				var upd float64
+				for _, t := range e.tables {
+					upd += ev.prof.UpdateRate(t)
+				}
+				h /= 1 + upd*ev.cfg.InvalidationPenalty
+			}
+			// One exact probe always; on a hit the combined action
+			// applies; on a miss the packet falls through to the
+			// original tables.
+			total += flow * (ev.pm.Lmat + h*actSum + (1-h)*origCost)
+			flow *= 1 - dropP
+		case elemMerge:
+			origCost, actSum, dropP := ev.spanStats(e.tables)
+			if ev.allExact(e.tables) {
+				// Merged-exact cache with fallback (§3.2.3: "Pipeleon
+				// addresses this by generating a merged exact table
+				// without ternary entries as a cache").
+				h := ev.cfg.MergedCacheHitRate
+				if hh, ok := ev.cfg.HitRateOverride[SpanKey(e.tables)]; ok {
+					h = hh
+				}
+				total += flow * (ev.pm.Lmat + h*actSum + (1-h)*origCost)
+			} else {
+				// In-place merge: one (multi-probe) match executes all
+				// member actions.
+				m := ev.mergedM(e.tables)
+				total += flow * (float64(m)*ev.pm.Lmat + actSum)
+			}
+			flow *= 1 - dropP
+		}
+	}
+	return total
+}
+
+// segCosts returns the memory and entry-update costs of an option's
+// segments.
+func (ev *Evaluator) segCosts(o *Option) (mem int, upd float64) {
+	for _, s := range o.Segments {
+		span := o.SegTables(s)
+		keyFields := ev.an.CacheKey(span)
+		entryBytes := len(keyFields)*8 + 16
+		switch s.Kind {
+		case SegCache:
+			mem += ev.cfg.CacheBudgetEntries * entryBytes
+			// A cache consumes entry-insertion bandwidth on misses;
+			// Pipeleon reserves its configured rate limit.
+			upd += ev.cfg.CacheInsertLimit
+		case SegMerge:
+			// N(T_AB) = Π N(T_i) (§3.2.3 optimization considerations).
+			prod := 1
+			for _, t := range span {
+				n := ev.entries[t]
+				if n < 1 {
+					n = 1
+				}
+				if prod > (1<<30)/n {
+					prod = 1 << 30
+					break
+				}
+				prod *= n
+			}
+			if ev.allExact(span) {
+				mem += prod * entryBytes
+			} else {
+				m := ev.mergedM(span)
+				merged := prod * entryBytes * m
+				var orig int
+				for _, t := range span {
+					orig += ev.prog.Tables[t].MemoryBytes()
+				}
+				delta := merged - orig
+				if delta > 0 {
+					mem += delta
+				}
+			}
+			// I(T_AB) = Σ_i I(T_i) · Π_{j≠i} N(T_j).
+			for i, t := range span {
+				rate := ev.prof.UpdateRate(t)
+				if rate == 0 {
+					continue
+				}
+				mult := 1.0
+				for j, u := range span {
+					if j == i {
+						continue
+					}
+					n := ev.entries[u]
+					if n < 1 {
+						n = 1
+					}
+					mult *= float64(n)
+				}
+				upd += rate * mult
+			}
+		}
+	}
+	return mem, upd
+}
+
+// PipeletBaseline returns the expected per-entering-packet latency of the
+// pipelet in its current layout.
+func (ev *Evaluator) PipeletBaseline(p *pipelet.Pipelet) float64 {
+	return ev.seqLatency(buildSequence(p.Tables, nil))
+}
+
+// Reach returns P(reach node) under the evaluator's profile.
+func (ev *Evaluator) Reach(node string) float64 { return ev.reach[node] }
+
+// GroupOptions builds the candidates of a pipelet group (§4.1.1): the
+// cross product of member options (joint application) plus a group-wide
+// cache spanning the branch and every member, when legal.
+func (ev *Evaluator) GroupOptions(g *pipelet.Group, memberOpts [][]*Option) []*Option {
+	var out []*Option
+	// Cross product of member choices (nil = leave member unchanged),
+	// capped; at least one member must change. Member options arrive
+	// sorted by gain descending and nil goes LAST, so when the cap
+	// truncates the product, the best-of-each combination is the first
+	// one enumerated and always survives.
+	combos := [][]*Option{{}}
+	for _, opts := range memberOpts {
+		var next [][]*Option
+		choices := append(append([]*Option{}, opts...), nil)
+		for _, c := range combos {
+			for _, ch := range choices {
+				if len(next) >= ev.cfg.MaxGroupCombos {
+					break
+				}
+				nc := append(append([]*Option(nil), c...), ch)
+				next = append(next, nc)
+			}
+		}
+		combos = next
+	}
+	for _, c := range combos {
+		var gain float64
+		var memC int
+		var updC float64
+		changed := false
+		for _, ch := range c {
+			if ch == nil {
+				continue
+			}
+			changed = true
+			gain += ch.Gain
+			memC += ch.MemCost
+			updC += ch.UpdateCost
+		}
+		if !changed {
+			continue
+		}
+		out = append(out, &Option{
+			Kind: OptGroupCombo, Group: g, Members: c,
+			Gain: gain, MemCost: memC, UpdateCost: updC,
+		})
+	}
+	// Group-wide cache: legal when every member span is cacheable and the
+	// entry branch is a conditional (a switch-case branch's per-action
+	// jump cannot be reproduced by a single cached verdict).
+	if ev.cfg.EnableCache {
+		legal := true
+		for _, bn := range g.Branches {
+			if _, cond := ev.prog.Node(bn); cond == nil {
+				legal = false
+				break
+			}
+		}
+		for _, m := range g.Members {
+			if !ev.an.CanCache(m.Tables) {
+				legal = false
+				break
+			}
+		}
+		if legal {
+			o := ev.groupCacheOption(g, ev.groupBranchFields(g))
+			if o != nil && o.Gain > 1e-12 {
+				out = append(out, o)
+			}
+		}
+	}
+	return out
+}
+
+// groupBranchFields collects the read fields of every internal branch —
+// they join the group cache's key so the cached verdict reproduces the
+// control flow.
+func (ev *Evaluator) groupBranchFields(g *pipelet.Group) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, bn := range g.Branches {
+		if cond, ok := ev.prog.Conds[bn]; ok {
+			for _, f := range cond.ReadFields {
+				if !seen[f] {
+					seen[f] = true
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// groupCacheOption scores a cache covering the whole group: a hit replaces
+// the group's entire reach-weighted cost (branches included) with one
+// probe plus the combined action writes. Works for single diamonds and
+// chained multi-diamond groups alike.
+func (ev *Evaluator) groupCacheOption(g *pipelet.Group, branchFields []string) *Option {
+	entryReach := ev.reach[g.Branch]
+	if entryReach <= 0 {
+		return nil
+	}
+	// Conditional (per-entering-packet) expected cost of the group: the
+	// reach-weighted node costs of members and internal branches,
+	// normalized by the entry reach.
+	var weighted, weightedAct float64
+	for _, m := range g.Members {
+		for _, t := range m.Tables {
+			weighted += ev.reach[t] * (ev.matchLat[t] + ev.actLat[t])
+			weightedAct += ev.reach[t] * ev.actLat[t]
+		}
+	}
+	for _, bn := range g.Branches {
+		weighted += ev.reach[bn] * ev.pm.CondLatency()
+	}
+	baseline := weighted / entryReach
+	actSum := weightedAct / entryReach
+
+	allTables := g.Tables()
+	h := ev.cfg.hitEstimate(SpanKey(allTables), ev.workingSet(allTables))
+	if ev.cfg.InvalidationPenalty > 0 {
+		var upd float64
+		for _, t := range allTables {
+			upd += ev.prof.UpdateRate(t)
+		}
+		h /= 1 + upd*ev.cfg.InvalidationPenalty
+	}
+	cached := ev.pm.Lmat + h*actSum + (1-h)*baseline
+	gain := (baseline - cached) * entryReach
+	keyFields := ev.an.CacheKey(allTables)
+	entryBytes := (len(keyFields)+len(branchFields))*8 + 16
+	return &Option{
+		Kind: OptGroupCache, Group: g,
+		Gain:       gain,
+		MemCost:    ev.cfg.CacheBudgetEntries * entryBytes,
+		UpdateCost: ev.cfg.CacheInsertLimit,
+	}
+}

@@ -1,0 +1,190 @@
+package opt
+
+import (
+	"sort"
+
+	"pipeleon/internal/costmodel"
+	"pipeleon/internal/p4ir"
+	"pipeleon/internal/profile"
+)
+
+// Heterogeneous-target support (§3.2.4): SmartNICs with a mix of ASIC and
+// CPU cores run a partitioned program; packets migrate between pipelines
+// with intermediate state piggybacked (next_tab_id navigation/migration
+// tables, which the emulator models as a per-transition latency). Pipeleon
+// minimizes migration overhead by (1) reordering for longer same-pipeline
+// runs, (2) caching CPU-only results on the ASIC, and (3) copying tables
+// needed by both pipelines. This file implements the placement cost model
+// and the greedy table-copying planner evaluated in Appendix A.2.
+
+// Placement assigns tables to pipelines.
+type Placement struct {
+	// CPU holds tables that only the CPU pipeline can run (unsupported on
+	// the ASIC) or that the planner moved there.
+	CPU map[string]bool
+	// Copies holds tables present on both pipelines; packets execute them
+	// wherever they currently are, avoiding migration at the price of
+	// CPU-speed execution when reached on the CPU side.
+	Copies map[string]bool
+}
+
+// NewPlacement derives the baseline placement from the program: every
+// table marked Unsupported goes to the CPU.
+func NewPlacement(prog *p4ir.Program) Placement {
+	pl := Placement{CPU: map[string]bool{}, Copies: map[string]bool{}}
+	for name, t := range prog.Tables {
+		if t.Unsupported {
+			pl.CPU[name] = true
+		}
+	}
+	return pl
+}
+
+// clonePlacement deep-copies a placement.
+func clonePlacement(p Placement) Placement {
+	out := Placement{CPU: map[string]bool{}, Copies: map[string]bool{}}
+	for k := range p.CPU {
+		out.CPU[k] = true
+	}
+	for k := range p.Copies {
+		out.Copies[k] = true
+	}
+	return out
+}
+
+// EstimateHeteroLatency computes the expected per-packet latency of a
+// program under a placement, including migration costs, by walking the
+// DAG in topological order while tracking the expected pipeline state.
+// For branch-free chains (the Appendix A.2 benchmark shape) this is
+// exact; for DAGs it approximates by carrying the probability-weighted
+// pipeline state across joins.
+func EstimateHeteroLatency(prog *p4ir.Program, prof *profile.Profile, pm costmodel.Params, pl Placement) float64 {
+	order, err := prog.TopoOrder()
+	if err != nil {
+		return 0
+	}
+	reach := prof.ReachProbs(prog)
+	// pCPU[node] = probability the packet is on the CPU pipeline when it
+	// arrives at node (conditioned on reaching it).
+	pCPU := map[string]float64{}
+	var total float64
+	for _, name := range order {
+		mass := reach[name]
+		if mass <= 0 {
+			continue
+		}
+		onCPU := pCPU[name]
+		t, _ := prog.Node(name)
+		var afterCPU float64
+		if t != nil {
+			wantsCPU := t.Unsupported || pl.CPU[name]
+			copied := pl.Copies[name]
+			var mult, migProb float64
+			switch {
+			case copied:
+				// Runs wherever the packet is.
+				mult = onCPU*pm.CPUSlowdown + (1-onCPU)*1
+				migProb = 0
+				afterCPU = onCPU
+			case wantsCPU:
+				mult = pm.CPUSlowdown
+				migProb = 1 - onCPU
+				afterCPU = 1
+			default:
+				mult = 1
+				migProb = onCPU
+				afterCPU = 0
+			}
+			if pm.CPUSlowdown <= 0 {
+				mult = 1
+			}
+			node := pm.NodeLatency(prog, prof, name)
+			total += mass * (node*mult + migProb*pm.MigrationLatency)
+		} else {
+			total += mass * pm.CondLatency()
+			afterCPU = onCPU
+		}
+		// Propagate pipeline state to successors (weighted by how much
+		// of their traffic comes from here).
+		for _, s := range prog.Successors(name) {
+			if reach[s] > 0 {
+				pCPU[s] += afterCPU * (mass / reach[s]) * edgeShare(prog, prof, name, s)
+			}
+		}
+	}
+	return total
+}
+
+// edgeShare approximates the fraction of `from`'s outgoing traffic that
+// goes to `to`.
+func edgeShare(prog *p4ir.Program, prof *profile.Profile, from, to string) float64 {
+	if t, c := prog.Node(from); t != nil {
+		if !t.IsSwitchCase() {
+			if t.BaseNext == to {
+				return 1 - prof.DropProb(t)
+			}
+			return 0
+		}
+		probs := prof.ActionProb(t)
+		var share float64
+		for _, a := range t.Actions {
+			if a.Drops() {
+				continue
+			}
+			if t.NextFor(a.Name) == to {
+				share += probs[a.Name]
+			}
+		}
+		return share
+	} else if c != nil {
+		pt := prof.BranchProb(from)
+		var share float64
+		if c.TrueNext == to {
+			share += pt
+		}
+		if c.FalseNext == to {
+			share += 1 - pt
+		}
+		return share
+	}
+	return 0
+}
+
+// GreedyCopyPlan chooses up to maxCopies tables to duplicate onto the CPU
+// pipeline, greedily picking the copy that most reduces the estimated
+// latency each round. It stops early when no copy helps — capturing the
+// Appendix A.2 observation that "copying only one table ... does not
+// reduce the needed migration and performing the copied table on CPU
+// cores is slower", so unprofitable copies are never taken.
+func GreedyCopyPlan(prog *p4ir.Program, prof *profile.Profile, pm costmodel.Params, base Placement, maxCopies int) Placement {
+	best := clonePlacement(base)
+	bestLat := EstimateHeteroLatency(prog, prof, pm, best)
+	var names []string
+	for name, t := range prog.Tables {
+		if !t.Unsupported && !base.CPU[name] {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for c := 0; c < maxCopies; c++ {
+		var pick string
+		pickLat := bestLat
+		for _, name := range names {
+			if best.Copies[name] {
+				continue
+			}
+			trial := clonePlacement(best)
+			trial.Copies[name] = true
+			lat := EstimateHeteroLatency(prog, prof, pm, trial)
+			if lat < pickLat-1e-12 {
+				pick, pickLat = name, lat
+			}
+		}
+		if pick == "" {
+			break
+		}
+		best.Copies[pick] = true
+		bestLat = pickLat
+	}
+	return best
+}

@@ -1,0 +1,129 @@
+package opt
+
+import (
+	"testing"
+
+	"pipeleon/internal/costmodel"
+	"pipeleon/internal/p4ir"
+	"pipeleon/internal/profile"
+)
+
+// interlaced builds U1 S1 S2 U2 S3 S4 U3 — unsupported tables interlaced
+// with pairs of supported ones (the Appendix A.2 benchmark shape).
+func interlaced(t *testing.T) *p4ir.Program {
+	t.Helper()
+	var specs []p4ir.TableSpec
+	mk := func(name string, unsupported bool) p4ir.TableSpec {
+		return p4ir.TableSpec{
+			Name:        name,
+			Keys:        []p4ir.Key{{Field: "ipv4.dstAddr", Kind: p4ir.MatchExact, Width: 32}},
+			Actions:     []*p4ir.Action{p4ir.NoopAction("n")},
+			Unsupported: unsupported,
+		}
+	}
+	specs = append(specs,
+		mk("u1", true), mk("s1", false), mk("s2", false),
+		mk("u2", true), mk("s3", false), mk("s4", false),
+		mk("u3", true),
+	)
+	prog, err := p4ir.ChainTables("hetero", specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func heteroParams() costmodel.Params {
+	pm := costmodel.EmulatedNIC()
+	pm.MigrationLatency = 400
+	return pm
+}
+
+func TestEstimateHeteroLatencyCountsMigrations(t *testing.T) {
+	prog := interlaced(t)
+	prof := profile.New()
+	pm := heteroParams()
+	base := NewPlacement(prog)
+	lat := EstimateHeteroLatency(prog, prof, pm, base)
+	// Sanity: homogeneous version (nothing on CPU) is much cheaper.
+	none := Placement{CPU: map[string]bool{}, Copies: map[string]bool{}}
+	progAll := prog.Clone()
+	for _, tbl := range progAll.Tables {
+		tbl.Unsupported = false
+	}
+	latNone := EstimateHeteroLatency(progAll, prof, pm, none)
+	if lat <= latNone {
+		t.Errorf("heterogeneous latency %v should exceed homogeneous %v", lat, latNone)
+	}
+	// Copying both supported tables between u1 and u2 removes 2
+	// migrations.
+	copied := clonePlacement(base)
+	copied.Copies["s1"] = true
+	copied.Copies["s2"] = true
+	latCopied := EstimateHeteroLatency(prog, prof, pm, copied)
+	if latCopied >= lat {
+		t.Errorf("copying the s1,s2 pair should help: %v >= %v", latCopied, lat)
+	}
+}
+
+func TestSingleCopyInPairDoesNotHelp(t *testing.T) {
+	// Appendix A.2: "copying only one table in this case does not reduce
+	// the latency ... it does not reduce the needed migration and
+	// performing the copied table on CPU cores is slower."
+	prog := interlaced(t)
+	prof := profile.New()
+	pm := heteroParams()
+	base := NewPlacement(prog)
+	lat := EstimateHeteroLatency(prog, prof, pm, base)
+	one := clonePlacement(base)
+	one.Copies["s1"] = true
+	latOne := EstimateHeteroLatency(prog, prof, pm, one)
+	if latOne < lat {
+		t.Errorf("single mid-pair copy should not help: %v < %v", latOne, lat)
+	}
+}
+
+func TestGreedyCopyPlanAvoidsBadCopies(t *testing.T) {
+	prog := interlaced(t)
+	prof := profile.New()
+	pm := heteroParams()
+	base := NewPlacement(prog)
+	// Greedy is one-step: since no single copy helps in the pair-shaped
+	// program, it must stop without copying anything (it never makes
+	// latency worse).
+	plan := GreedyCopyPlan(prog, prof, pm, base, 4)
+	latBase := EstimateHeteroLatency(prog, prof, pm, base)
+	latPlan := EstimateHeteroLatency(prog, prof, pm, plan)
+	if latPlan > latBase+1e-9 {
+		t.Errorf("greedy plan made things worse: %v > %v", latPlan, latBase)
+	}
+}
+
+func TestGreedyCopyPlanTakesProfitableCopies(t *testing.T) {
+	// Alternating single supported tables: u1 s1 u2 s2 u3 — copying s1
+	// or s2 individually removes two migrations each.
+	var specs []p4ir.TableSpec
+	mk := func(name string, unsupported bool) p4ir.TableSpec {
+		return p4ir.TableSpec{
+			Name:        name,
+			Keys:        []p4ir.Key{{Field: "ipv4.dstAddr", Kind: p4ir.MatchExact, Width: 32}},
+			Actions:     []*p4ir.Action{p4ir.NoopAction("n")},
+			Unsupported: unsupported,
+		}
+	}
+	specs = append(specs, mk("u1", true), mk("s1", false), mk("u2", true), mk("s2", false), mk("u3", true))
+	prog, err := p4ir.ChainTables("alt", specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := profile.New()
+	pm := heteroParams()
+	base := NewPlacement(prog)
+	plan := GreedyCopyPlan(prog, prof, pm, base, 4)
+	if !plan.Copies["s1"] || !plan.Copies["s2"] {
+		t.Errorf("greedy should copy both singletons: %v", plan.Copies)
+	}
+	if EstimateHeteroLatency(prog, prof, pm, plan) >= EstimateHeteroLatency(prog, prof, pm, base) {
+		t.Error("plan should strictly improve latency")
+	}
+}

@@ -1,0 +1,312 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pipeleon/internal/deps"
+	"pipeleon/internal/pipelet"
+)
+
+// SegKind distinguishes the two span transformations.
+type SegKind int
+
+const (
+	// SegCache wraps a span of tables in a runtime-filled flow cache.
+	SegCache SegKind = iota
+	// SegMerge combines a span of tables into one merged table (or a
+	// pre-populated merged-exact cache when the members are exact).
+	SegMerge
+)
+
+func (k SegKind) String() string {
+	if k == SegCache {
+		return "cache"
+	}
+	return "merge"
+}
+
+// Segment is a contiguous run of tables, identified by position in the
+// option's table order, that one technique is applied to.
+type Segment struct {
+	Kind  SegKind
+	Start int
+	Len   int
+}
+
+// OptionKind discriminates plain pipelet options from group options.
+type OptionKind int
+
+const (
+	// OptPipelet transforms a single pipelet.
+	OptPipelet OptionKind = iota
+	// OptGroupCombo applies one member option per grouped pipelet.
+	OptGroupCombo
+	// OptGroupCache inserts one cache covering an entire pipelet group,
+	// including its branch node (§4.1.1 joint optimization).
+	OptGroupCache
+)
+
+// Option is one optimization candidate with its estimated benefit and
+// resource costs — the unit the knapsack search selects among (§4.2).
+type Option struct {
+	Kind OptionKind
+
+	// Pipelet/Order/Segments describe an OptPipelet candidate: the tables
+	// of Pipelet laid out in Order, with Segments applied to runs of it.
+	Pipelet  *pipelet.Pipelet
+	Order    []string
+	Segments []Segment
+
+	// Group and Members describe group candidates.
+	Group   *pipelet.Group
+	Members []*Option // OptGroupCombo: chosen option per member (nil = unchanged)
+
+	// Gain is the expected reduction of whole-program latency in
+	// nanoseconds (pipelet gain weighted by reach probability).
+	Gain float64
+	// MemCost is the extra memory in bytes the option consumes.
+	MemCost int
+	// UpdateCost is the extra entry-update bandwidth in ops/second.
+	UpdateCost float64
+}
+
+// SegTables returns the table names a segment covers.
+func (o *Option) SegTables(s Segment) []string {
+	return o.Order[s.Start : s.Start+s.Len]
+}
+
+// String renders a compact human-readable form, e.g.
+// "reorder[t3 t1 t2] cache[t3,t1]".
+func (o *Option) String() string {
+	switch o.Kind {
+	case OptGroupCache:
+		return fmt.Sprintf("group-cache@%s", o.Group.Branch)
+	case OptGroupCombo:
+		var parts []string
+		for _, m := range o.Members {
+			if m != nil {
+				parts = append(parts, m.String())
+			}
+		}
+		return "group{" + strings.Join(parts, "; ") + "}"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "order%v", o.Order)
+	for _, s := range o.Segments {
+		fmt.Fprintf(&sb, " %s%v", s.Kind, o.SegTables(s))
+	}
+	return sb.String()
+}
+
+// SpanKey is the canonical identity of a table span, used to key hit-rate
+// overrides and generated table names.
+func SpanKey(tables []string) string { return strings.Join(tables, "+") }
+
+// enumerateOrders returns the dependency-valid permutations of tables,
+// capped at maxOrders. The original order is always first. Beyond the cap
+// (or for long pipelets) only the original and the greedy drop-sorted
+// orders are returned.
+func enumerateOrders(an *deps.Analyzer, tables []string, dropRate map[string]float64, maxOrders int) [][]string {
+	n := len(tables)
+	orders := [][]string{append([]string(nil), tables...)}
+	if n < 2 {
+		return orders
+	}
+	// Factorial guard: enumerate exhaustively only for small pipelets.
+	if factorialAtMost(n, maxOrders) {
+		seen := map[string]bool{SpanKey(tables): true}
+		perm := make([]string, 0, n)
+		used := make([]bool, n)
+		var rec func()
+		rec = func() {
+			if len(orders) >= maxOrders {
+				return
+			}
+			if len(perm) == n {
+				key := SpanKey(perm)
+				if !seen[key] && an.ValidOrder(tables, perm) {
+					seen[key] = true
+					orders = append(orders, append([]string(nil), perm...))
+				}
+				return
+			}
+			for i := 0; i < n; i++ {
+				if used[i] {
+					continue
+				}
+				used[i] = true
+				perm = append(perm, tables[i])
+				rec()
+				perm = perm[:len(perm)-1]
+				used[i] = false
+			}
+		}
+		rec()
+		return orders
+	}
+	// Heuristic fallback: greedy drop-sorted valid order.
+	greedy := GreedyDropOrder(an, tables, dropRate)
+	if SpanKey(greedy) != SpanKey(tables) {
+		orders = append(orders, greedy)
+	}
+	return orders
+}
+
+func factorialAtMost(n, cap int) bool {
+	f := 1
+	for i := 2; i <= n; i++ {
+		f *= i
+		if f > cap {
+			return false
+		}
+	}
+	return true
+}
+
+// GreedyDropOrder builds a dependency-valid order that promotes tables
+// with higher drop rates to earlier positions (§3.2.1: "Pipeleon promotes
+// tables with higher dropping rates to earlier parts of the program"):
+// repeatedly place the highest-drop table whose original-order
+// predecessors with dependencies have all been placed.
+func GreedyDropOrder(an *deps.Analyzer, tables []string, dropRate map[string]float64) []string {
+	n := len(tables)
+	placed := make([]bool, n)
+	out := make([]string, 0, n)
+	ready := func(i int) bool {
+		for j := 0; j < n; j++ {
+			if placed[j] || j == i {
+				continue
+			}
+			// j unplaced; if original order has j before i with a
+			// dependency j→i, i is not ready.
+			if j < i && an.Dependency(tables[j], tables[i]) != deps.DepNone {
+				return false
+			}
+			// Also i must not need to stay before j (dependency i→j is
+			// fine — i goes first).
+		}
+		return true
+	}
+	for len(out) < n {
+		best := -1
+		for i := 0; i < n; i++ {
+			if placed[i] || !ready(i) {
+				continue
+			}
+			if best == -1 {
+				best = i
+				continue
+			}
+			di, db := dropRate[tables[i]], dropRate[tables[best]]
+			if di > db+1e-12 {
+				best = i
+			}
+		}
+		if best == -1 { // should not happen for a DAG-consistent order
+			for i := 0; i < n; i++ {
+				if !placed[i] {
+					best = i
+					break
+				}
+			}
+		}
+		placed[best] = true
+		out = append(out, tables[best])
+	}
+	return out
+}
+
+// enumerateSegmentations returns every way to assign disjoint contiguous
+// cache and merge segments over the order (§4.2: "for each top-k pipelet,
+// Pipeleon computes all possible optimizations for each technique
+// independently [and] enumerates all valid combinations"). Merging and
+// caching never apply to the same table, which disjointness enforces.
+func enumerateSegmentations(order []string, an *deps.Analyzer, cfg Config) [][]Segment {
+	n := len(order)
+	maxSegs := cfg.MaxSegmentations
+	if maxSegs <= 0 {
+		maxSegs = 20000
+	}
+	var out [][]Segment
+	var rec func(pos int, acc []Segment)
+	rec = func(pos int, acc []Segment) {
+		if len(out) >= maxSegs {
+			return
+		}
+		if pos == n {
+			out = append(out, append([]Segment(nil), acc...))
+			return
+		}
+		// (a) leave the table at pos untouched.
+		rec(pos+1, acc)
+		// (b) cache segment starting here.
+		if cfg.EnableCache {
+			for l := 1; pos+l <= n; l++ {
+				span := order[pos : pos+l]
+				if !an.CanCache(span) {
+					break // a longer span contains the same violation
+				}
+				rec(pos+l, append(acc, Segment{Kind: SegCache, Start: pos, Len: l}))
+			}
+		}
+		// (c) merge segment starting here.
+		if cfg.EnableMerge {
+			maxL := cfg.MergeCap
+			if maxL < 2 {
+				maxL = 2
+			}
+			for l := 2; l <= maxL && pos+l <= n; l++ {
+				span := order[pos : pos+l]
+				if !an.CanMerge(span) {
+					break
+				}
+				rec(pos+l, append(acc, Segment{Kind: SegMerge, Start: pos, Len: l}))
+			}
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+// LocalOptimize enumerates and scores all candidates for one pipelet
+// (Figure 16, LocalOptimize). The returned options are sorted by gain
+// descending, truncated to cfg.MaxOptionsPerPipelet, and exclude
+// candidates with non-positive gain (the implicit "do nothing" option is
+// always available to the global search).
+func (ev *Evaluator) LocalOptimize(p *pipelet.Pipelet) []*Option {
+	if p.SwitchCase || p.Len() == 0 {
+		return nil
+	}
+	tables := p.Tables
+	var orders [][]string
+	if ev.cfg.EnableReorder {
+		orders = enumerateOrders(ev.an, tables, ev.dropRate, ev.cfg.MaxOrders)
+	} else {
+		orders = [][]string{append([]string(nil), tables...)}
+	}
+	baseline := ev.seqLatency(buildSequence(tables, nil))
+	reach := ev.reach[p.Head()]
+	var options []*Option
+	for oi, order := range orders {
+		segsList := enumerateSegmentations(order, ev.an, ev.cfg)
+		for _, segs := range segsList {
+			if oi == 0 && len(segs) == 0 {
+				continue // identity
+			}
+			o := &Option{Kind: OptPipelet, Pipelet: p, Order: order, Segments: segs}
+			lat := ev.seqLatency(buildSequence(order, segs))
+			o.Gain = (baseline - lat) * reach
+			o.MemCost, o.UpdateCost = ev.segCosts(o)
+			if o.Gain > 1e-12 {
+				options = append(options, o)
+			}
+		}
+	}
+	sort.SliceStable(options, func(i, j int) bool { return options[i].Gain > options[j].Gain })
+	if len(options) > ev.cfg.MaxOptionsPerPipelet {
+		options = options[:ev.cfg.MaxOptionsPerPipelet]
+	}
+	return options
+}

@@ -1,0 +1,48 @@
+package opt
+
+import (
+	"pipeleon/internal/costmodel"
+	"pipeleon/internal/p4ir"
+	"pipeleon/internal/profile"
+)
+
+// ScoreOption re-evaluates one option's expected gain under the
+// evaluator's (fresh) profile, without re-running the search. The runtime
+// uses it to decide whether a newly found plan beats the plan already
+// deployed by enough to justify a reconfiguration (§3.2.2's "if the
+// performance is not expected, Pipeleon will adjust" — and, implicitly,
+// if it is as expected, leave it alone).
+func (ev *Evaluator) ScoreOption(o *Option) float64 {
+	switch o.Kind {
+	case OptPipelet:
+		baseline := ev.seqLatency(buildSequence(o.Pipelet.Tables, nil))
+		lat := ev.seqLatency(buildSequence(o.Order, o.Segments))
+		return (baseline - lat) * ev.reach[o.Pipelet.Head()]
+	case OptGroupCombo:
+		var g float64
+		for _, m := range o.Members {
+			if m != nil {
+				g += ev.ScoreOption(m)
+			}
+		}
+		return g
+	case OptGroupCache:
+		if re := ev.groupCacheOption(o.Group, ev.groupBranchFields(o.Group)); re != nil {
+			return re.Gain
+		}
+	}
+	return 0
+}
+
+// ReScore sums the re-evaluated gains of a plan under a new profile.
+func ReScore(prog *p4ir.Program, prof *profile.Profile, pm costmodel.Params, cfg Config, plan []*Option) float64 {
+	if len(plan) == 0 {
+		return 0
+	}
+	ev := NewEvaluator(prog, prof, pm, cfg)
+	var total float64
+	for _, o := range plan {
+		total += ev.ScoreOption(o)
+	}
+	return total
+}

@@ -1,0 +1,109 @@
+package opt
+
+import (
+	"time"
+
+	"pipeleon/internal/costmodel"
+	"pipeleon/internal/p4ir"
+	"pipeleon/internal/pipelet"
+	"pipeleon/internal/profile"
+)
+
+// SearchResult is the outcome of one optimization round.
+type SearchResult struct {
+	// Plan is the selected set of options (at most one per unit).
+	Plan []*Option
+	// Units are the knapsack groups that were searched.
+	Units []Unit
+	// Costs is the full pipelet ranking that drove top-k selection.
+	Costs []pipelet.Cost
+	// TopK are the pipelets selected for optimization this round.
+	TopK []*pipelet.Pipelet
+	// Groups are the pipelet groups formed among the top-k.
+	Groups []pipelet.Group
+	// Gain is the plan's estimated whole-program latency reduction (ns).
+	Gain float64
+	// BaselineLatency is the expected latency of the input program.
+	BaselineLatency float64
+	// Elapsed is the wall-clock search time.
+	Elapsed time.Duration
+	// CandidatesEvaluated counts scored options across all units.
+	CandidatesEvaluated int
+}
+
+// Search runs one full optimization round (§4): partition into pipelets,
+// rank by cost under the profile, select the top-k, form pipelet groups,
+// enumerate per-unit candidates, and solve the global knapsack.
+func Search(prog *p4ir.Program, prof *profile.Profile, pm costmodel.Params, cfg Config) (*SearchResult, error) {
+	start := time.Now()
+	part, err := pipelet.Form(prog, cfg.MaxPipeletLen)
+	if err != nil {
+		return nil, err
+	}
+	res := &SearchResult{
+		Costs:           pipelet.RankByCost(prog, prof, pm, part),
+		BaselineLatency: costmodel.ExpectedLatency(prog, prof, pm),
+	}
+	res.TopK = pipelet.TopK(res.Costs, cfg.TopKFrac)
+	ev := NewEvaluator(prog, prof, pm, cfg)
+
+	grouped := map[*pipelet.Pipelet]bool{}
+	if cfg.EnableGroups {
+		res.Groups = nil
+		for _, g := range pipelet.FindGroups(prog, part, res.TopK) {
+			dup := false
+			for _, m := range g.Members {
+				if grouped[m] {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue // a pipelet joins at most one group per round
+			}
+			res.Groups = append(res.Groups, g)
+			memberOpts := make([][]*Option, len(g.Members))
+			for i, m := range g.Members {
+				memberOpts[i] = ev.LocalOptimize(m)
+				res.CandidatesEvaluated += len(memberOpts[i])
+				grouped[m] = true
+			}
+			opts := ev.GroupOptions(&g, memberOpts)
+			res.CandidatesEvaluated += len(opts)
+			if len(opts) > 0 {
+				res.Units = append(res.Units, Unit{Name: "group@" + g.Branch, Options: opts})
+			}
+		}
+	}
+	for _, p := range res.TopK {
+		if grouped[p] {
+			continue
+		}
+		opts := ev.LocalOptimize(p)
+		res.CandidatesEvaluated += len(opts)
+		if len(opts) > 0 {
+			res.Units = append(res.Units, Unit{Name: p.String(), Options: opts})
+		}
+	}
+	res.Plan = GlobalOptimize(res.Units, cfg.MemoryBudget, cfg.UpdateBudget, cfg)
+	res.Gain = PlanGain(res.Plan)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// SearchAndApply runs Search and, when the plan is non-empty, applies it.
+// A nil Rewrite with nil error means "nothing worth doing".
+func SearchAndApply(prog *p4ir.Program, prof *profile.Profile, pm costmodel.Params, cfg Config) (*SearchResult, *Rewrite, error) {
+	res, err := Search(prog, prof, pm, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(res.Plan) == 0 {
+		return res, nil, nil
+	}
+	rw, err := Apply(prog, res.Plan, cfg)
+	if err != nil {
+		return res, nil, err
+	}
+	return res, rw, nil
+}

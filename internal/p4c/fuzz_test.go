@@ -1,0 +1,42 @@
+package p4c
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCompile feeds arbitrary text through the frontend: it must never
+// panic, and anything it accepts must lower to a valid program.
+func FuzzCompile(f *testing.F) {
+	f.Add(demoSrc)
+	f.Add(`action a() { no_op(); } table t { actions = { a; } } control c { apply(t); }`)
+	f.Add(`control c { }`)
+	f.Add(`action a() { drop(); }`)
+	f.Add(`table t { key = { ipv4.dstAddr: lpm; } }`)
+	f.Add(`/* comment */ control c { if (x > 1) { } }`)
+	f.Add(strings.Repeat("{", 50))
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Compile(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if verr := prog.Validate(); verr != nil {
+			t.Fatalf("accepted source lowered to invalid program: %v\nsource:\n%s", verr, src)
+		}
+	})
+}
+
+// FuzzLexer checks the tokenizer terminates on arbitrary input.
+func FuzzLexer(f *testing.F) {
+	f.Add("action a() {}")
+	f.Add("// comment\n/* block */ ==<=>=!=;{}():,=")
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := lexAll(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].kind != tokEOF {
+			t.Fatal("token stream must end with EOF")
+		}
+	})
+}

@@ -1,0 +1,229 @@
+// Package p4c is a compiler frontend for a practical subset of P4-16,
+// lowering source text to the p4ir graph the optimizer operates on. The
+// paper's prototype consumes compiler-emitted JSON; this frontend closes
+// the loop so the toolchain also accepts P4 source directly.
+//
+// The supported subset covers what SmartNIC match-action pipelines use:
+//
+//	action fwd(port) { modify_field(meta.egress_port, port); }
+//	action deny()    { drop(); }
+//
+//	table acl {
+//	    key = { ipv4.srcAddr: ternary; tcp.dport: exact; }
+//	    actions = { deny; permit; }
+//	    default_action = permit;
+//	    size = 1024;
+//	    const entries = {
+//	        (0x0a000000:0xff000000, 23): deny() prio 9;
+//	    }
+//	}
+//
+//	control ingress {
+//	    apply(pre);
+//	    if (ipv4.ttl > 0) { apply(route); } else { apply(punt); }
+//	    switch (apply(classify)) {
+//	        web: { apply(web_path); }
+//	        default: { apply(other_path); }
+//	    }
+//	    apply(post);
+//	}
+//
+// Declarations may appear in any order; exactly one control block defines
+// the pipeline. Entries may be compiled in via `const entries` (match
+// forms: bare value, value:mask for ternary, value:lpm:prefixlen for LPM)
+// or installed at runtime through the control-plane API.
+package p4c
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokLBrace
+	tokRBrace
+	tokLParen
+	tokRParen
+	tokSemi
+	tokColon
+	tokComma
+	tokEquals
+	tokOp // comparison operators: == != < <= > >=
+)
+
+var tokNames = [...]string{"EOF", "identifier", "number", "'{'", "'}'", "'('", "')'", "';'", "':'", "','", "'='", "operator"}
+
+func (k tokKind) String() string { return tokNames[k] }
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+// lexer tokenizes P4 subset source.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(line, col int, format string, args ...interface{}) error {
+	return fmt.Errorf("p4c: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	// Skip whitespace and comments.
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos+1 < len(l.src)+1 && l.pos < len(l.src) {
+				if l.peekByte() == '*' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return token{}, l.errorf(startLine, startCol, "unterminated block comment")
+			}
+		default:
+			goto lexed
+		}
+	}
+lexed:
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line, col: l.col}, nil
+	}
+	line, col := l.line, l.col
+	c := l.peekByte()
+	switch {
+	case isIdentStart(rune(c)):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(rune(l.peekByte())) {
+			l.advance()
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: line, col: col}, nil
+	case unicode.IsDigit(rune(c)):
+		start := l.pos
+		for l.pos < len(l.src) && (isIdentPart(rune(l.peekByte()))) {
+			// hex digits and 0x prefix use ident chars
+			l.advance()
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: line, col: col}, nil
+	}
+	// Operators and punctuation.
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "==", "!=", "<=", ">=":
+		l.advance()
+		l.advance()
+		return token{kind: tokOp, text: two, line: line, col: col}, nil
+	}
+	l.advance()
+	switch c {
+	case '{':
+		return token{kind: tokLBrace, text: "{", line: line, col: col}, nil
+	case '}':
+		return token{kind: tokRBrace, text: "}", line: line, col: col}, nil
+	case '(':
+		return token{kind: tokLParen, text: "(", line: line, col: col}, nil
+	case ')':
+		return token{kind: tokRParen, text: ")", line: line, col: col}, nil
+	case ';':
+		return token{kind: tokSemi, text: ";", line: line, col: col}, nil
+	case ':':
+		return token{kind: tokColon, text: ":", line: line, col: col}, nil
+	case ',':
+		return token{kind: tokComma, text: ",", line: line, col: col}, nil
+	case '=':
+		return token{kind: tokEquals, text: "=", line: line, col: col}, nil
+	case '<':
+		return token{kind: tokOp, text: "<", line: line, col: col}, nil
+	case '>':
+		return token{kind: tokOp, text: ">", line: line, col: col}, nil
+	}
+	return token{}, l.errorf(line, col, "unexpected character %q", string(c))
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+// isIdentPart also accepts '.' so dotted field names ("ipv4.ttl") lex as
+// one identifier, matching the IR's field naming.
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.'
+}
+
+// lexAll tokenizes the whole input (EOF token included).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}
+
+// describe renders a token for error messages.
+func describe(t token) string {
+	if t.kind == tokIdent || t.kind == tokNumber || t.kind == tokOp {
+		return fmt.Sprintf("%s %q", t.kind, t.text)
+	}
+	return t.kind.String()
+}

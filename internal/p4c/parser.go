@@ -1,0 +1,584 @@
+package p4c
+
+import (
+	"fmt"
+)
+
+// AST node types. The grammar is deliberately small; see the package
+// comment for the accepted subset.
+
+// File is a parsed source file.
+type File struct {
+	Actions []*ActionDecl
+	Tables  []*TableDecl
+	Control *ControlDecl
+}
+
+// ActionDecl is `action name(params...) { primitives; }`.
+type ActionDecl struct {
+	Name   string
+	Params []string
+	Stmts  []PrimStmt
+}
+
+// PrimStmt is one primitive call inside an action body.
+type PrimStmt struct {
+	Op   string
+	Args []string
+}
+
+// TableDecl is a `table` declaration.
+type TableDecl struct {
+	Name    string
+	Keys    []KeyDecl
+	Actions []string
+	Default string
+	Size    int
+	Entries []EntryDecl
+	Line    int
+}
+
+// EntryDecl is one `const entries` row: match values and an action call.
+type EntryDecl struct {
+	Matches []MatchDecl
+	Action  string
+	Args    []string
+	Prio    int
+	Line    int
+}
+
+// MatchDecl is one match value: exact V, LPM V/plen, or ternary V:mask.
+// Values are kept as source text; lowering parses them.
+type MatchDecl struct {
+	Value  string
+	Prefix string // non-empty for V/plen
+	Mask   string // non-empty for V:mask
+}
+
+// KeyDecl is one `field: match_kind;` key entry.
+type KeyDecl struct {
+	Field string
+	Kind  string
+}
+
+// ControlDecl is the pipeline control block.
+type ControlDecl struct {
+	Name string
+	Body []Stmt
+}
+
+// Stmt is a control-block statement.
+type Stmt interface{ stmt() }
+
+// ApplyStmt is `apply(table);`.
+type ApplyStmt struct {
+	Table string
+	Line  int
+}
+
+// IfStmt is `if (field op literal) { ... } [else { ... }]`.
+type IfStmt struct {
+	Field string
+	Op    string
+	Value string
+	Then  []Stmt
+	Else  []Stmt
+	Line  int
+}
+
+// SwitchStmt is `switch (apply(table)) { action: { ... } ... [default: {...}] }`.
+type SwitchStmt struct {
+	Table   string
+	Cases   []SwitchCase
+	Default []Stmt
+	HasDef  bool
+	Line    int
+}
+
+// SwitchCase is one `action: { ... }` arm.
+type SwitchCase struct {
+	Action string
+	Body   []Stmt
+}
+
+func (*ApplyStmt) stmt()  {}
+func (*IfStmt) stmt()     {}
+func (*SwitchStmt) stmt() {}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses source text into a File.
+func Parse(src string) (*File, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{}
+	for p.peek().kind != tokEOF {
+		t := p.peek()
+		if t.kind != tokIdent {
+			return nil, p.errorf("expected declaration, got %s", describe(t))
+		}
+		switch t.text {
+		case "action":
+			a, err := p.parseAction()
+			if err != nil {
+				return nil, err
+			}
+			f.Actions = append(f.Actions, a)
+		case "table":
+			tb, err := p.parseTable()
+			if err != nil {
+				return nil, err
+			}
+			f.Tables = append(f.Tables, tb)
+		case "control":
+			if f.Control != nil {
+				return nil, p.errorf("multiple control blocks")
+			}
+			c, err := p.parseControl()
+			if err != nil {
+				return nil, err
+			}
+			f.Control = c
+		default:
+			return nil, p.errorf("unknown declaration %q (want action/table/control)", t.text)
+		}
+	}
+	if f.Control == nil {
+		return nil, fmt.Errorf("p4c: no control block")
+	}
+	return f, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	t := p.peek()
+	return fmt.Errorf("p4c: %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(kind tokKind) (token, error) {
+	t := p.peek()
+	if t.kind != kind {
+		return t, p.errorf("expected %s, got %s", kind, describe(t))
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) expectIdent(word string) error {
+	t := p.peek()
+	if t.kind != tokIdent || t.text != word {
+		return p.errorf("expected %q, got %s", word, describe(t))
+	}
+	p.advance()
+	return nil
+}
+
+// parseAction parses `action name(params) { op(args); ... }`.
+func (p *parser) parseAction() (*ActionDecl, error) {
+	if err := p.expectIdent("action"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	a := &ActionDecl{Name: name.text}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	for p.peek().kind != tokRParen {
+		param, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		a.Params = append(a.Params, param.text)
+		if p.peek().kind == tokComma {
+			p.advance()
+		}
+	}
+	p.advance() // ')'
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	for p.peek().kind != tokRBrace {
+		op, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		stmt := PrimStmt{Op: op.text}
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		for p.peek().kind != tokRParen {
+			arg := p.peek()
+			if arg.kind != tokIdent && arg.kind != tokNumber {
+				return nil, p.errorf("expected primitive argument, got %s", describe(arg))
+			}
+			p.advance()
+			stmt.Args = append(stmt.Args, arg.text)
+			if p.peek().kind == tokComma {
+				p.advance()
+			}
+		}
+		p.advance() // ')'
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		a.Stmts = append(a.Stmts, stmt)
+	}
+	p.advance() // '}'
+	return a, nil
+}
+
+// parseTable parses a table declaration.
+func (p *parser) parseTable() (*TableDecl, error) {
+	if err := p.expectIdent("table"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	tb := &TableDecl{Name: name.text, Line: name.line}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	for p.peek().kind != tokRBrace {
+		prop, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if prop.text == "const" {
+			// `const entries = { (match...): action(args) [@prio(n)]; }`
+			if err := p.expectIdent("entries"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokEquals); err != nil {
+				return nil, err
+			}
+			if err := p.parseEntries(tb); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if _, err := p.expect(tokEquals); err != nil {
+			return nil, err
+		}
+		switch prop.text {
+		case "key":
+			if _, err := p.expect(tokLBrace); err != nil {
+				return nil, err
+			}
+			for p.peek().kind != tokRBrace {
+				field, err := p.expect(tokIdent)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokColon); err != nil {
+					return nil, err
+				}
+				kind, err := p.expect(tokIdent)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokSemi); err != nil {
+					return nil, err
+				}
+				tb.Keys = append(tb.Keys, KeyDecl{Field: field.text, Kind: kind.text})
+			}
+			p.advance() // '}'
+		case "actions":
+			if _, err := p.expect(tokLBrace); err != nil {
+				return nil, err
+			}
+			for p.peek().kind != tokRBrace {
+				act, err := p.expect(tokIdent)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokSemi); err != nil {
+					return nil, err
+				}
+				tb.Actions = append(tb.Actions, act.text)
+			}
+			p.advance() // '}'
+		case "default_action":
+			act, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			tb.Default = act.text
+			if _, err := p.expect(tokSemi); err != nil {
+				return nil, err
+			}
+		case "size":
+			n, err := p.expect(tokNumber)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := fmt.Sscanf(n.text, "%d", &tb.Size); err != nil {
+				return nil, p.errorf("bad size %q", n.text)
+			}
+			if _, err := p.expect(tokSemi); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errorf("unknown table property %q", prop.text)
+		}
+	}
+	p.advance() // '}'
+	return tb, nil
+}
+
+// parseEntries parses the body of `const entries = { ... }`.
+func (p *parser) parseEntries(tb *TableDecl) error {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return err
+	}
+	for p.peek().kind != tokRBrace {
+		line := p.peek().line
+		var e EntryDecl
+		e.Line = line
+		if _, err := p.expect(tokLParen); err != nil {
+			return err
+		}
+		for p.peek().kind != tokRParen {
+			var m MatchDecl
+			v := p.peek()
+			if v.kind != tokNumber && v.kind != tokIdent {
+				return p.errorf("expected match value, got %s", describe(v))
+			}
+			p.advance()
+			m.Value = v.text
+			// V/plen is lexed as number, '<'? no: '/' not an operator...
+			// The lexer has no '/' token; V/plen therefore lexes the '/'
+			// as part of a comment or errors. Use V mask syntax instead:
+			// lpm(V, plen) and ternary via V : mask? Simplest accepted
+			// forms: "V" (exact), "V" ":" mask (ternary), and
+			// "V" ":" "lpm" ":" plen for prefixes.
+			if p.peek().kind == tokColon {
+				p.advance()
+				second := p.peek()
+				if second.kind == tokIdent && second.text == "lpm" {
+					p.advance()
+					if _, err := p.expect(tokColon); err != nil {
+						return err
+					}
+					plen, err := p.expect(tokNumber)
+					if err != nil {
+						return err
+					}
+					m.Prefix = plen.text
+				} else if second.kind == tokNumber {
+					p.advance()
+					m.Mask = second.text
+				} else {
+					return p.errorf("expected mask or 'lpm', got %s", describe(second))
+				}
+			}
+			e.Matches = append(e.Matches, m)
+			if p.peek().kind == tokComma {
+				p.advance()
+			}
+		}
+		p.advance() // ')'
+		if _, err := p.expect(tokColon); err != nil {
+			return err
+		}
+		act, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		e.Action = act.text
+		if _, err := p.expect(tokLParen); err != nil {
+			return err
+		}
+		for p.peek().kind != tokRParen {
+			arg := p.peek()
+			if arg.kind != tokNumber && arg.kind != tokIdent {
+				return p.errorf("expected action argument, got %s", describe(arg))
+			}
+			p.advance()
+			e.Args = append(e.Args, arg.text)
+			if p.peek().kind == tokComma {
+				p.advance()
+			}
+		}
+		p.advance() // ')'
+		// Optional priority: `prio N` before the semicolon.
+		if p.peek().kind == tokIdent && p.peek().text == "prio" {
+			p.advance()
+			n, err := p.expect(tokNumber)
+			if err != nil {
+				return err
+			}
+			if _, serr := fmt.Sscanf(n.text, "%d", &e.Prio); serr != nil {
+				return p.errorf("bad priority %q", n.text)
+			}
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return err
+		}
+		tb.Entries = append(tb.Entries, e)
+	}
+	p.advance() // '}'
+	return nil
+}
+
+// parseControl parses `control name { stmts }`.
+func (p *parser) parseControl() (*ControlDecl, error) {
+	if err := p.expectIdent("control"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &ControlDecl{Name: name.text, Body: body}, nil
+}
+
+// parseBlock parses `{ stmt* }`.
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for p.peek().kind != tokRBrace {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	p.advance() // '}'
+	return out, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return nil, p.errorf("expected statement, got %s", describe(t))
+	}
+	switch t.text {
+	case "apply":
+		p.advance()
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		tbl, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		return &ApplyStmt{Table: tbl.text, Line: t.line}, nil
+	case "if":
+		p.advance()
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		field, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		op, err := p.expect(tokOp)
+		if err != nil {
+			return nil, err
+		}
+		val := p.peek()
+		if val.kind != tokNumber && val.kind != tokIdent {
+			return nil, p.errorf("expected comparison literal, got %s", describe(val))
+		}
+		p.advance()
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		thenB, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Field: field.text, Op: op.text, Value: val.text, Then: thenB, Line: t.line}
+		if p.peek().kind == tokIdent && p.peek().text == "else" {
+			p.advance()
+			elseB, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = elseB
+		}
+		return st, nil
+	case "switch":
+		p.advance()
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		if err := p.expectIdent("apply"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		tbl, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLBrace); err != nil {
+			return nil, err
+		}
+		st := &SwitchStmt{Table: tbl.text, Line: t.line}
+		for p.peek().kind != tokRBrace {
+			label, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokColon); err != nil {
+				return nil, err
+			}
+			body, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			if label.text == "default" {
+				if st.HasDef {
+					return nil, p.errorf("duplicate default case")
+				}
+				st.Default = body
+				st.HasDef = true
+			} else {
+				st.Cases = append(st.Cases, SwitchCase{Action: label.text, Body: body})
+			}
+		}
+		p.advance() // '}'
+		return st, nil
+	}
+	return nil, p.errorf("unknown statement %q (want apply/if/switch)", t.text)
+}

@@ -1,0 +1,168 @@
+package packet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FieldInfo describes a named header field available to match-action keys.
+type FieldInfo struct {
+	Name  string
+	Width int // bits
+}
+
+// registry lists every addressable header field with its wire width.
+// Metadata fields ("meta.*") are dynamic 32-bit scratch fields.
+var registry = map[string]FieldInfo{
+	"eth.dstMac":   {"eth.dstMac", 48},
+	"eth.srcMac":   {"eth.srcMac", 48},
+	"eth.type":     {"eth.type", 16},
+	"ipv4.tos":     {"ipv4.tos", 8},
+	"ipv4.ttl":     {"ipv4.ttl", 8},
+	"ipv4.proto":   {"ipv4.proto", 8},
+	"ipv4.srcAddr": {"ipv4.srcAddr", 32},
+	"ipv4.dstAddr": {"ipv4.dstAddr", 32},
+	"ipv4.id":      {"ipv4.id", 16},
+	"tcp.sport":    {"tcp.sport", 16},
+	"tcp.dport":    {"tcp.dport", 16},
+	"tcp.seq":      {"tcp.seq", 32},
+	"tcp.flags":    {"tcp.flags", 8},
+	"udp.sport":    {"udp.sport", 16},
+	"udp.dport":    {"udp.dport", 16},
+}
+
+// FieldWidth returns the bit width of a field name. Unknown and metadata
+// fields report 32.
+func FieldWidth(name string) int {
+	if fi, ok := registry[name]; ok {
+		return fi.Width
+	}
+	return 32
+}
+
+// KnownFields returns the registered non-metadata field names, sorted.
+func KnownFields() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get reads a named field from the packet. Metadata fields read from
+// p.Meta (zero when absent). ok is false only for unknown non-meta names.
+func (p *Packet) Get(name string) (uint64, bool) {
+	if strings.HasPrefix(name, "meta.") {
+		return p.Meta[name], true
+	}
+	switch name {
+	case "eth.dstMac":
+		return macToU64(p.Eth.DstMAC), true
+	case "eth.srcMac":
+		return macToU64(p.Eth.SrcMAC), true
+	case "eth.type":
+		return uint64(p.Eth.Type), true
+	case "ipv4.tos":
+		return uint64(p.IP.TOS), true
+	case "ipv4.ttl":
+		return uint64(p.IP.TTL), true
+	case "ipv4.proto":
+		return uint64(p.IP.Protocol), true
+	case "ipv4.srcAddr":
+		return uint64(p.IP.SrcAddr), true
+	case "ipv4.dstAddr":
+		return uint64(p.IP.DstAddr), true
+	case "ipv4.id":
+		return uint64(p.IP.ID), true
+	case "tcp.sport":
+		return uint64(p.TCP.SrcPort), true
+	case "tcp.dport":
+		return uint64(p.TCP.DstPort), true
+	case "tcp.seq":
+		return uint64(p.TCP.Seq), true
+	case "tcp.flags":
+		return uint64(p.TCP.Flags), true
+	case "udp.sport":
+		return uint64(p.UDP.SrcPort), true
+	case "udp.dport":
+		return uint64(p.UDP.DstPort), true
+	}
+	return 0, false
+}
+
+// Set writes a named field. Metadata fields allocate p.Meta lazily.
+// Unknown non-meta names return an error.
+func (p *Packet) Set(name string, v uint64) error {
+	if strings.HasPrefix(name, "meta.") {
+		if p.Meta == nil {
+			p.Meta = map[string]uint64{}
+		}
+		p.Meta[name] = v
+		return nil
+	}
+	switch name {
+	case "eth.dstMac":
+		u64ToMAC(v, &p.Eth.DstMAC)
+	case "eth.srcMac":
+		u64ToMAC(v, &p.Eth.SrcMAC)
+	case "eth.type":
+		p.Eth.Type = uint16(v)
+	case "ipv4.tos":
+		p.IP.TOS = uint8(v)
+	case "ipv4.ttl":
+		p.IP.TTL = uint8(v)
+	case "ipv4.proto":
+		p.IP.Protocol = uint8(v)
+	case "ipv4.srcAddr":
+		p.IP.SrcAddr = uint32(v)
+	case "ipv4.dstAddr":
+		p.IP.DstAddr = uint32(v)
+	case "ipv4.id":
+		p.IP.ID = uint16(v)
+	case "tcp.sport":
+		p.TCP.SrcPort = uint16(v)
+	case "tcp.dport":
+		p.TCP.DstPort = uint16(v)
+	case "tcp.seq":
+		p.TCP.Seq = uint32(v)
+	case "tcp.flags":
+		p.TCP.Flags = uint8(v)
+	case "udp.sport":
+		p.UDP.SrcPort = uint16(v)
+	case "udp.dport":
+		p.UDP.DstPort = uint16(v)
+	default:
+		return fmt.Errorf("packet: unknown field %q", name)
+	}
+	return nil
+}
+
+func macToU64(m [6]byte) uint64 {
+	var v uint64
+	for _, b := range m {
+		v = v<<8 | uint64(b)
+	}
+	return v
+}
+
+func u64ToMAC(v uint64, m *[6]byte) {
+	for i := 5; i >= 0; i-- {
+		m[i] = byte(v)
+		v >>= 8
+	}
+}
+
+// Clone deep-copies the packet (payload shared — it is immutable in the
+// emulator; metadata copied).
+func (p *Packet) Clone() *Packet {
+	cp := *p
+	if p.Meta != nil {
+		cp.Meta = make(map[string]uint64, len(p.Meta))
+		for k, v := range p.Meta {
+			cp.Meta[k] = v
+		}
+	}
+	return &cp
+}

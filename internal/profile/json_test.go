@@ -1,0 +1,68 @@
+package profile
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// Profiles travel as JSON through the control plane and the pipeleon CLI
+// (-profile); the snapshot must round-trip losslessly.
+func TestProfileJSONRoundTrip(t *testing.T) {
+	col := NewCollector()
+	col.RecordAction("t1", "a")
+	col.RecordAction("t1", "a")
+	col.RecordAction("t1", "b")
+	col.RecordBranch("c1", true)
+	col.RecordBranch("c1", false)
+	col.RecordCache("cache1", true)
+	col.RecordCache("cache1", false)
+	col.ObserveUpdateRate("t1", 123.5)
+	col.RecordKey("t1", 1)
+	col.RecordKey("t1", 2)
+	col.RecordFlow(99)
+	p := col.Snapshot()
+
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := New()
+	if err := json.Unmarshal(data, back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TableTotal("t1") != 3 {
+		t.Errorf("TableTotal = %d", back.TableTotal("t1"))
+	}
+	if back.BranchCounts["c1"] != [2]uint64{1, 1} {
+		t.Errorf("BranchCounts = %v", back.BranchCounts["c1"])
+	}
+	if r, ok := back.CacheHitRate("cache1"); !ok || r != 0.5 {
+		t.Errorf("hit rate = %v %v", r, ok)
+	}
+	if back.UpdateRate("t1") != 123.5 {
+		t.Errorf("update rate = %v", back.UpdateRate("t1"))
+	}
+	if back.Cardinality("t1", 0) != 2 {
+		t.Errorf("cardinality = %d", back.Cardinality("t1", 0))
+	}
+	if back.FlowCardinality != 1 {
+		t.Errorf("flow cardinality = %d", back.FlowCardinality)
+	}
+	if back.SampleRate != 1 {
+		t.Errorf("sample rate = %v", back.SampleRate)
+	}
+}
+
+func TestFlowCardinalityTracking(t *testing.T) {
+	col := NewCollector()
+	for i := 0; i < 100; i++ {
+		col.RecordFlow(uint64(i % 25))
+	}
+	if got := col.Snapshot().FlowCardinality; got != 25 {
+		t.Errorf("flow cardinality = %d, want 25", got)
+	}
+	col.Reset()
+	if got := col.Snapshot().FlowCardinality; got != 0 {
+		t.Errorf("flow cardinality after reset = %d", got)
+	}
+}

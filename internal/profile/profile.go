@@ -1,0 +1,403 @@
+// Package profile implements Pipeleon's runtime profiles (§2, §4.1.2): the
+// per-action and per-branch packet counters collected by instrumenting the
+// program, the table entry counts and entry-update rates observed through
+// the control-plane API, and the probability queries the cost model and the
+// hot-pipelet detector issue against them.
+//
+// A Collector is the concurrent write side, updated by the emulator's
+// packet-processing cores (with optional 1/N sampling, §5.4.1). A Profile
+// is an immutable snapshot used by the optimizer.
+package profile
+
+import (
+	"sync"
+
+	"pipeleon/internal/p4ir"
+)
+
+// Profile is a point-in-time snapshot of runtime behaviour.
+type Profile struct {
+	// ActionCounts[table][action] counts packets that executed the action.
+	ActionCounts map[string]map[string]uint64
+	// BranchCounts[cond] counts {true, false} outcomes.
+	BranchCounts map[string][2]uint64
+	// CacheHits / CacheMisses are recorded per cache table so the runtime
+	// can evaluate observed hit rates against the plan's estimate.
+	CacheHits   map[string]uint64
+	CacheMisses map[string]uint64
+	// UpdateRates[table] is the observed entry-update rate (ops/second)
+	// from control-plane monitoring (§4: "Pipeleon determines the entry
+	// update rate of each table by monitoring its invocation of the entry
+	// update APIs").
+	UpdateRates map[string]float64
+	// KeyCardinality[table] is the approximate number of distinct key
+	// values observed at the table. The cache-planning heuristic uses it
+	// to size the cross-product working set of a candidate flow cache
+	// (§3.2.2: "n header fields could produce up to S1·S2...·Sn cache
+	// entries").
+	KeyCardinality map[string]uint64
+	// FlowCardinality is the approximate number of distinct flows
+	// observed. Any header-keyed cache's working set is bounded by it —
+	// a cache key is a function of the flow — which is what makes wide
+	// caches viable under high flow locality despite the field
+	// cross-product.
+	FlowCardinality uint64
+	// SampleRate is the fraction of packets that updated counters
+	// (1 = every packet, 1.0/1024 = the paper's sampled mode). Counter
+	// values are already scaled back up by the collector; SampleRate is
+	// recorded for reporting.
+	SampleRate float64
+}
+
+// New returns an empty profile.
+func New() *Profile {
+	return &Profile{
+		ActionCounts:   map[string]map[string]uint64{},
+		BranchCounts:   map[string][2]uint64{},
+		CacheHits:      map[string]uint64{},
+		CacheMisses:    map[string]uint64{},
+		UpdateRates:    map[string]float64{},
+		KeyCardinality: map[string]uint64{},
+		SampleRate:     1,
+	}
+}
+
+// TableTotal returns the total packets observed at a table.
+func (p *Profile) TableTotal(table string) uint64 {
+	var total uint64
+	for _, c := range p.ActionCounts[table] {
+		total += c
+	}
+	return total
+}
+
+// ActionProb returns P(a) for each action of the table (Equation 4b).
+// With no observations it falls back to uniform over the table's actions.
+func (p *Profile) ActionProb(t *p4ir.Table) map[string]float64 {
+	out := make(map[string]float64, len(t.Actions))
+	total := p.TableTotal(t.Name)
+	if total == 0 {
+		if len(t.Actions) == 0 {
+			return out
+		}
+		u := 1 / float64(len(t.Actions))
+		for _, a := range t.Actions {
+			out[a.Name] = u
+		}
+		return out
+	}
+	counts := p.ActionCounts[t.Name]
+	for _, a := range t.Actions {
+		out[a.Name] = float64(counts[a.Name]) / float64(total)
+	}
+	return out
+}
+
+// BranchProb returns P(true) for a conditional. With no observations it
+// returns 0.5.
+func (p *Profile) BranchProb(cond string) float64 {
+	c := p.BranchCounts[cond]
+	total := c[0] + c[1]
+	if total == 0 {
+		return 0.5
+	}
+	return float64(c[0]) / float64(total)
+}
+
+// DropProb returns the fraction of the table's traffic that executes a
+// dropping action — the "packet dropping rate" that drives table
+// reordering (§3.2.1).
+func (p *Profile) DropProb(t *p4ir.Table) float64 {
+	probs := p.ActionProb(t)
+	var drop float64
+	for _, a := range t.Actions {
+		if a.Drops() {
+			drop += probs[a.Name]
+		}
+	}
+	return drop
+}
+
+// CacheHitRate returns the observed hit rate for a cache table, and whether
+// any observations exist.
+func (p *Profile) CacheHitRate(cache string) (float64, bool) {
+	h, m := p.CacheHits[cache], p.CacheMisses[cache]
+	if h+m == 0 {
+		return 0, false
+	}
+	return float64(h) / float64(h+m), true
+}
+
+// UpdateRate returns the entry-update rate for a table (0 if unobserved).
+func (p *Profile) UpdateRate(table string) float64 { return p.UpdateRates[table] }
+
+// Cardinality returns the approximate distinct-key count for a table, or
+// def when unobserved.
+func (p *Profile) Cardinality(table string, def uint64) uint64 {
+	if c, ok := p.KeyCardinality[table]; ok && c > 0 {
+		return c
+	}
+	return def
+}
+
+// ReachProbs computes, for every node of the program, the probability that
+// a packet reaches it, by propagating edge probabilities from the root in
+// topological order. Dropping actions terminate paths, so a table's
+// outgoing mass is 1 minus its drop probability, split per ActionNext for
+// switch-case tables.
+//
+// This is the P(G') of §4.1.2 ("the probability that a packet can reach
+// the pipelet ... the sum of probabilities for all reachable paths from
+// the graph root to the pipelet") computed without path enumeration.
+func (p *Profile) ReachProbs(prog *p4ir.Program) map[string]float64 {
+	reach := map[string]float64{}
+	order, err := prog.TopoOrder()
+	if err != nil {
+		return reach
+	}
+	if prog.Root != "" {
+		reach[prog.Root] = 1
+	}
+	for _, name := range order {
+		mass := reach[name]
+		if mass == 0 {
+			continue
+		}
+		if t, c := prog.Node(name); t != nil {
+			probs := p.ActionProb(t)
+			if t.IsSwitchCase() {
+				for _, a := range t.Actions {
+					if a.Drops() {
+						continue
+					}
+					nxt := t.NextFor(a.Name)
+					if nxt != "" {
+						reach[nxt] += mass * probs[a.Name]
+					}
+				}
+			} else if t.BaseNext != "" {
+				reach[t.BaseNext] += mass * (1 - p.DropProb(t))
+			}
+		} else if c != nil {
+			pt := p.BranchProb(name)
+			if c.TrueNext != "" {
+				reach[c.TrueNext] += mass * pt
+			}
+			if c.FalseNext != "" {
+				reach[c.FalseNext] += mass * (1 - pt)
+			}
+		}
+	}
+	return reach
+}
+
+// Clone returns a deep copy of the profile.
+func (p *Profile) Clone() *Profile {
+	out := New()
+	out.SampleRate = p.SampleRate
+	for t, m := range p.ActionCounts {
+		nm := make(map[string]uint64, len(m))
+		for a, c := range m {
+			nm[a] = c
+		}
+		out.ActionCounts[t] = nm
+	}
+	for c, v := range p.BranchCounts {
+		out.BranchCounts[c] = v
+	}
+	for k, v := range p.CacheHits {
+		out.CacheHits[k] = v
+	}
+	for k, v := range p.CacheMisses {
+		out.CacheMisses[k] = v
+	}
+	for k, v := range p.UpdateRates {
+		out.UpdateRates[k] = v
+	}
+	for k, v := range p.KeyCardinality {
+		out.KeyCardinality[k] = v
+	}
+	out.FlowCardinality = p.FlowCardinality
+	return out
+}
+
+// Collector is the concurrent write side of profiling. The emulator's
+// cores call Record* on the hot path; the Pipeleon runtime calls Snapshot
+// on every optimization window.
+type Collector struct {
+	mu sync.Mutex
+	p  *Profile
+	// every records 1-in-N sampling (1 = record all packets); counts are
+	// scaled by N at snapshot time so probabilities are unbiased.
+	every uint64
+	tick  uint64
+	// keys tracks distinct key values per table, capped at keyCardCap
+	// entries each to bound memory.
+	keys map[string]map[uint64]struct{}
+	// flows tracks distinct flow keys, capped like keys.
+	flows map[uint64]struct{}
+}
+
+// keyCardCap bounds the per-table distinct-key tracking set. Beyond the
+// cap the cardinality saturates, which is fine: the cache planner only
+// needs to know "small" vs "much larger than any cache budget".
+const keyCardCap = 1 << 16
+
+// NewCollector returns a collector recording every packet.
+func NewCollector() *Collector {
+	return &Collector{p: New(), every: 1, keys: map[string]map[uint64]struct{}{}}
+}
+
+// SetSampling makes the collector record only one in every n packets
+// (n >= 1). The paper samples 1/1024 of traffic to cut profiling overhead
+// to ~5% on Agilio CX (§5.4.1); "sampling a small fraction of traffic with
+// the same sampling rate to update the counter will not alter the result".
+func (c *Collector) SetSampling(n uint64) {
+	if n == 0 {
+		n = 1
+	}
+	c.mu.Lock()
+	c.every = n
+	c.p.SampleRate = 1 / float64(n)
+	c.mu.Unlock()
+}
+
+// Sampled reports whether this packet should update counters, advancing
+// the sampling wheel. Callers use it once per packet.
+func (c *Collector) Sampled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tick++
+	return c.tick%c.every == 0
+}
+
+// RecordAction counts one packet executing table/action.
+func (c *Collector) RecordAction(table, action string) {
+	c.mu.Lock()
+	m := c.p.ActionCounts[table]
+	if m == nil {
+		m = map[string]uint64{}
+		c.p.ActionCounts[table] = m
+	}
+	m[action]++
+	c.mu.Unlock()
+}
+
+// RecordBranch counts one conditional outcome.
+func (c *Collector) RecordBranch(cond string, taken bool) {
+	c.mu.Lock()
+	v := c.p.BranchCounts[cond]
+	if taken {
+		v[0]++
+	} else {
+		v[1]++
+	}
+	c.p.BranchCounts[cond] = v
+	c.mu.Unlock()
+}
+
+// RecordCache counts a cache hit or miss.
+func (c *Collector) RecordCache(cache string, hit bool) {
+	c.mu.Lock()
+	if hit {
+		c.p.CacheHits[cache]++
+	} else {
+		c.p.CacheMisses[cache]++
+	}
+	c.mu.Unlock()
+}
+
+// RecordFlow notes a distinct flow (pre-folded to uint64). Flow
+// cardinality bounds every cache working set.
+func (c *Collector) RecordFlow(key uint64) {
+	c.mu.Lock()
+	if c.flows == nil {
+		c.flows = map[uint64]struct{}{}
+	}
+	if len(c.flows) < keyCardCap {
+		c.flows[key] = struct{}{}
+	}
+	c.mu.Unlock()
+}
+
+// RecordKey notes a distinct key value observed at a table. The key should
+// already be hashed/folded to a uint64 by the caller (the emulator folds
+// the concatenated match-key bytes).
+func (c *Collector) RecordKey(table string, key uint64) {
+	c.mu.Lock()
+	set := c.keys[table]
+	if set == nil {
+		set = map[uint64]struct{}{}
+		c.keys[table] = set
+	}
+	if len(set) < keyCardCap {
+		set[key] = struct{}{}
+	}
+	c.mu.Unlock()
+}
+
+// ObserveUpdateRate records the entry-update rate for a table.
+func (c *Collector) ObserveUpdateRate(table string, opsPerSec float64) {
+	c.mu.Lock()
+	c.p.UpdateRates[table] = opsPerSec
+	c.mu.Unlock()
+}
+
+// Snapshot returns an immutable copy of the current profile with counter
+// values scaled by the sampling factor.
+func (c *Collector) Snapshot() *Profile {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.p.Clone()
+	for table, set := range c.keys {
+		out.KeyCardinality[table] = uint64(len(set))
+	}
+	out.FlowCardinality = uint64(len(c.flows))
+	if c.every > 1 {
+		for _, m := range out.ActionCounts {
+			for a := range m {
+				m[a] *= c.every
+			}
+		}
+		for cond, v := range out.BranchCounts {
+			v[0] *= c.every
+			v[1] *= c.every
+			out.BranchCounts[cond] = v
+		}
+		for k := range out.CacheHits {
+			out.CacheHits[k] *= c.every
+		}
+		for k := range out.CacheMisses {
+			out.CacheMisses[k] *= c.every
+		}
+	}
+	return out
+}
+
+// Reset clears all counters (used at the start of each profiling window)
+// while preserving the sampling configuration.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	rate := c.p.SampleRate
+	c.p = New()
+	c.p.SampleRate = rate
+	c.keys = map[string]map[uint64]struct{}{}
+	c.flows = nil
+	c.mu.Unlock()
+}
+
+// CounterUpdatesPerPacket returns how many counter increments one packet
+// traversing the given path (node names) costs under this instrumentation:
+// one per conditional branch plus one per table action executed (§5.4.1).
+func CounterUpdatesPerPacket(prog *p4ir.Program, path []string) int {
+	n := 0
+	for _, name := range path {
+		if t, c := prog.Node(name); t != nil {
+			_ = t
+			n++ // one action counter per table hit
+		} else if c != nil {
+			n++ // one branch counter
+		}
+	}
+	return n
+}

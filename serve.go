@@ -1,0 +1,24 @@
+package pipeleon
+
+import (
+	"pipeleon/internal/controlplane"
+)
+
+// ControlServer exposes a Runtime's program-management API over TCP with
+// a length-prefixed JSON protocol (the repo's P4Runtime stand-in).
+type ControlServer = controlplane.Server
+
+// ControlClient talks to a ControlServer.
+type ControlClient = controlplane.Client
+
+// Serve starts a control-plane server for the runtime on addr
+// (e.g. "127.0.0.1:9559"; ":0" picks a free port). The collector may be
+// nil to disable counter reads.
+func Serve(addr string, rt *Runtime, col *Collector) (*ControlServer, error) {
+	return controlplane.NewServer(addr, rt, col)
+}
+
+// DialControl connects to a control-plane server.
+func DialControl(addr string) (*ControlClient, error) {
+	return controlplane.Dial(addr)
+}

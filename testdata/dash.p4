@@ -1,0 +1,88 @@
+// DASH-style SmartNIC pipeline in the p4c subset (§5.3.2 shape):
+// direction lookup, metadata setup, connection tracking, three ACL
+// levels, and LPM routing. Entries are installed at runtime via the
+// control plane (nicd + p4cctl) or the library entry API.
+
+action set_direction(dir) { modify_field(meta.direction, dir); }
+action set_appliance(id)  { modify_field(meta.appliance, id); }
+action set_eni(eni)       { modify_field(meta.eni, eni); }
+action track()            { modify_field(meta.conn, 1); }
+action permit()           { no_op(); }
+action deny()             { drop(); }
+action fwd(port)          { forward(port); }
+
+table direction_lookup {
+    key = { ipv4.tos: exact; }
+    actions = { set_direction; permit; }
+    default_action = permit;
+    size = 16;
+}
+
+table appliance_lookup {
+    key = { ipv4.ttl: exact; }
+    actions = { set_appliance; permit; }
+    default_action = permit;
+    size = 16;
+}
+
+table eni_lookup {
+    key = { ipv4.proto: exact; }
+    actions = { set_eni; permit; }
+    default_action = permit;
+    size = 16;
+}
+
+table conntrack {
+    key = { ipv4.srcAddr: exact; tcp.sport: exact; }
+    actions = { track; permit; }
+    default_action = permit;
+    size = 65536;
+}
+
+table acl_level1 {
+    key = { ipv4.srcAddr: ternary; }
+    actions = { deny; permit; }
+    default_action = permit;
+    size = 1024;
+}
+
+table acl_level2 {
+    key = { ipv4.dstAddr: ternary; }
+    actions = { deny; permit; }
+    default_action = permit;
+    size = 1024;
+}
+
+table acl_level3 {
+    key = { tcp.dport: ternary; }
+    actions = { deny; permit; }
+    default_action = permit;
+    size = 1024;
+    const entries = {
+        (23): deny() prio 10;        // telnet is always blocked
+        (0:0x0000): permit() prio 1; // everything else falls through
+    }
+}
+
+table routing {
+    key = { ipv4.dstAddr: lpm; }
+    actions = { fwd; permit; }
+    default_action = permit;
+    size = 4096;
+    const entries = {
+        (0x0a000000:lpm:8): fwd(1);  // 10/8 -> port 1
+    }
+}
+
+control ingress {
+    apply(direction_lookup);
+    apply(appliance_lookup);
+    apply(eni_lookup);
+    if (ipv4.proto == 6) {
+        apply(conntrack);
+    }
+    apply(acl_level1);
+    apply(acl_level2);
+    apply(acl_level3);
+    apply(routing);
+}
