@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test vet race verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the pre-merge gate: compile everything, vet, and run the full
+# suite under the race detector (the runtime loop, control plane, and
+# fault-injection paths are concurrent).
+verify:
+	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...

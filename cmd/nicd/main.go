@@ -10,6 +10,9 @@
 //	nicd -program prog.json [-target bluefield2] [-listen 127.0.0.1:9559]
 //	     [-interval 5s] [-traffic 1000] [-skew 0.9] [-pps 50000]
 //	     [-duration 30s] [-quiet]
+//	     [-verify-packets 256] [-max-regression 0.1] [-min-realized-gain 0.2]
+//	     [-blacklist-rounds 3] [-breaker-threshold 3] [-breaker-cooldown 5]
+//	     [-fault "deploy.fail=0.1,conn.write.drop=0.05"] [-fault-seed 1]
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"pipeleon/internal/controlplane"
 	"pipeleon/internal/core"
 	"pipeleon/internal/costmodel"
+	"pipeleon/internal/faultinject"
 	"pipeleon/internal/nicsim"
 	"pipeleon/internal/opt"
 	"pipeleon/internal/p4c"
@@ -46,6 +50,15 @@ func main() {
 		duration = flag.Duration("duration", 0, "exit after this long (0 = run until signal)")
 		quiet    = flag.Bool("quiet", false, "suppress per-window stats")
 		profOut  = flag.String("profile-out", "", "on exit, dump the last window's translated profile JSON here (usable with pipeleon -profile)")
+
+		verifyPkts    = flag.Int("verify-packets", 256, "packets replayed in the post-deploy verification window (0 disables verify-and-rollback; needs -traffic)")
+		maxRegress    = flag.Float64("max-regression", 0.1, "rollback when post-deploy mean latency regresses by more than this fraction")
+		minRealized   = flag.Float64("min-realized-gain", 0.2, "rollback when measured improvement is below this fraction of the predicted gain (0 disables)")
+		blacklistRnds = flag.Int("blacklist-rounds", 3, "rounds a rolled-back plan is barred from redeployment")
+		breakerThresh = flag.Int("breaker-threshold", 3, "consecutive failed/rolled-back deploys that open the redeploy circuit breaker")
+		breakerCool   = flag.Int("breaker-cooldown", 5, "rounds the circuit breaker pauses redeployment")
+		faultSpec     = flag.String("fault", "", "fault-injection spec, e.g. 'deploy.fail=0.1,conn.write.drop=0.05,plan.scale=0.1:20' (empty = none)")
+		faultSeed     = flag.Uint64("fault-seed", 1, "seed for the probabilistic fault injector")
 	)
 	flag.Parse()
 	if *progPath == "" {
@@ -82,9 +95,15 @@ func main() {
 		fatal("unknown target %q", *target)
 	}
 
+	faults, err := faultinject.ParseSpec(*faultSpec, *faultSeed)
+	if err != nil {
+		fatal("%v", err)
+	}
+
 	col := profile.NewCollector()
 	nic, err := nicsim.New(prog, nicsim.Config{
 		Params: pm, Collector: col, Instrument: true, CacheFillCostNs: 500,
+		Faults: faults,
 	})
 	if err != nil {
 		fatal("starting emulator: %v", err)
@@ -93,7 +112,36 @@ func main() {
 	if err != nil {
 		fatal("starting runtime: %v", err)
 	}
-	srv, err := controlplane.NewServer(*listen, rt, col)
+	rt.SetFaultInjector(faults)
+
+	var gen *trafficgen.Generator
+	if *flows > 0 {
+		gen = trafficgen.New(1, 0)
+		gen.AddFlows(trafficgen.UniformFlows(2, *flows)...)
+		gen.SetSkew(*skew)
+	}
+	if gen != nil && *verifyPkts > 0 {
+		// The guard samples from its own generator over the same flow
+		// population: trafficgen.Generator is not safe for concurrent use
+		// and the traffic goroutine keeps drawing from gen.
+		vgen := trafficgen.New(1, 0)
+		vgen.AddFlows(trafficgen.UniformFlows(2, *flows)...)
+		vgen.SetSkew(*skew)
+		guard := core.DefaultDeployGuard(vgen.Batch)
+		guard.VerifyPackets = *verifyPkts
+		guard.MaxRegression = *maxRegress
+		guard.MinRealizedGainFrac = *minRealized
+		guard.BlacklistRounds = *blacklistRnds
+		guard.BreakerThreshold = *breakerThresh
+		guard.BreakerCooldownRounds = *breakerCool
+		rt.SetDeployGuard(guard)
+	}
+
+	var srvOpts []controlplane.ServerOption
+	if faults != nil {
+		srvOpts = append(srvOpts, controlplane.WithFaultInjector(faults))
+	}
+	srv, err := controlplane.NewServer(*listen, rt, col, srvOpts...)
 	if err != nil {
 		fatal("starting control plane: %v", err)
 	}
@@ -106,12 +154,6 @@ func main() {
 		defer close(done)
 		ticker := time.NewTicker(*interval)
 		defer ticker.Stop()
-		var gen *trafficgen.Generator
-		if *flows > 0 {
-			gen = trafficgen.New(1, 0)
-			gen.AddFlows(trafficgen.UniformFlows(2, *flows)...)
-			gen.SetSkew(*skew)
-		}
 		for {
 			select {
 			case <-stop:
@@ -127,12 +169,23 @@ func main() {
 				}
 				rep, err := rt.OptimizeOnce(*interval)
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "nicd: optimize: %v\n", err)
+					fmt.Fprintf(os.Stderr, "nicd: optimize (round %d): %v\n", rep.Round, err)
 					continue
 				}
-				if rep.Deployed && !*quiet {
-					fmt.Printf("nicd: deployed new layout (round %d, gain %.0f ns): %v\n",
-						rep.Round, rep.Gain, rep.Plan)
+				if *quiet {
+					continue
+				}
+				switch {
+				case rep.RolledBack:
+					fmt.Printf("nicd: round %d rolled back (verify delta %+.1f%%, predicted gain %.0f ns): %v\n",
+						rep.Round, rep.VerifyDelta*100, rep.Gain, rep.Plan)
+				case rep.BreakerOpen:
+					fmt.Printf("nicd: round %d: redeploy circuit breaker open\n", rep.Round)
+				case rep.PlanBlacklisted:
+					fmt.Printf("nicd: round %d: plan blacklisted after rollback, holding layout\n", rep.Round)
+				case rep.Deployed:
+					fmt.Printf("nicd: deployed new layout (round %d, gain %.0f ns, verify delta %+.1f%%): %v\n",
+						rep.Round, rep.Gain, rep.VerifyDelta*100, rep.Plan)
 				}
 			}
 		}

@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"pipeleon/internal/controlplane"
 	"pipeleon/internal/p4ir"
@@ -30,6 +31,10 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9559", "nicd control-plane address")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-call round-trip timeout")
+	connectTimeout := flag.Duration("connect-timeout", 5*time.Second, "TCP connect (and reconnect) timeout")
+	retries := flag.Int("retries", 3, "total attempts per call; connection failures are retried with backoff and transparent reconnect")
+	backoff := flag.Duration("retry-backoff", 50*time.Millisecond, "base retry backoff (doubles per attempt, jittered)")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
@@ -44,11 +49,14 @@ func main() {
 	prio := sub.Int("prio", 0, "entry priority (ternary)")
 	_ = sub.Parse(flag.Args()[1:])
 
-	cl, err := controlplane.Dial(*addr)
+	cl, err := controlplane.DialTimeout(*addr, *connectTimeout)
 	if err != nil {
 		fatal("connecting to %s: %v", *addr, err)
 	}
 	defer cl.Close()
+	cl.Timeout = *timeout
+	cl.Retry.MaxAttempts = *retries
+	cl.Retry.BaseBackoff = *backoff
 
 	switch verb {
 	case "ping":

@@ -1,6 +1,9 @@
 package controlplane
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -9,36 +12,142 @@ import (
 
 	"pipeleon/internal/p4ir"
 	"pipeleon/internal/profile"
+	"pipeleon/internal/stats"
 )
 
-// Client is a synchronous control-plane client. It is safe for concurrent
-// use; calls are serialized over one connection.
-type Client struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	nextID uint64
-	// Timeout bounds each round trip (default 5s).
-	Timeout time.Duration
+// RetryPolicy controls how the client handles connection-level failures:
+// timeouts, resets, and dial errors are retried (after a transparent
+// reconnect) with exponential backoff and jitter; application-level
+// errors and protocol violations are returned immediately. Mutating
+// requests carry idempotency keys, so a retry after an ambiguous failure
+// cannot double-apply.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per call (<=1 disables
+	// retry).
+	MaxAttempts int
+	// BaseBackoff is the sleep before the first retry; it doubles per
+	// attempt up to MaxBackoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// JitterFrac randomizes each backoff by ±frac to desynchronize
+	// reconnect storms.
+	JitterFrac float64
 }
 
-// Dial connects to a control-plane server.
+// DefaultRetryPolicy is what Dial installs.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseBackoff: 50 * time.Millisecond, MaxBackoff: 2 * time.Second, JitterFrac: 0.2}
+}
+
+// Client is a synchronous control-plane client. It is safe for concurrent
+// use; calls are serialized over one connection, and a broken connection
+// is transparently re-dialed on the next attempt.
+type Client struct {
+	mu      sync.Mutex
+	addr    string
+	conn    net.Conn
+	nextID  uint64
+	session string
+	rng     *stats.RNG
+	// Timeout bounds each round trip (default 5s).
+	Timeout time.Duration
+	// DialTimeout bounds connect and reconnect attempts (default 5s).
+	DialTimeout time.Duration
+	// Retry governs reconnect-and-retry after connection-level failures.
+	Retry RetryPolicy
+}
+
+// Dial connects to a control-plane server with the default 5s connect
+// timeout.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, 5*time.Second)
+}
+
+// DialTimeout connects with an explicit connect timeout, which also
+// becomes the client's reconnect timeout.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, Timeout: 5 * time.Second}, nil
+	var seed [8]byte
+	_, _ = crand.Read(seed[:])
+	return &Client{
+		addr:        addr,
+		conn:        conn,
+		session:     hex.EncodeToString(seed[:]),
+		rng:         stats.NewRNG(binary.BigEndian.Uint64(seed[:]) | 1),
+		Timeout:     5 * time.Second,
+		DialTimeout: timeout,
+		Retry:       DefaultRetryPolicy(),
+	}, nil
 }
 
 // Close terminates the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
 
+// call runs one request to completion: it retries connection-level
+// failures with backoff and transparent reconnect, keeping the same
+// request ID and idempotency key across attempts so the server can
+// deduplicate a retried mutation.
 func (c *Client) call(req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.nextID++
 	req.ID = c.nextID
-	deadline := time.Now().Add(c.Timeout)
+	if mutating(req.Op) {
+		req.Idem = fmt.Sprintf("%s-%d", c.session, req.ID)
+	}
+	attempts := c.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.backoff(attempt))
+		}
+		if c.conn == nil {
+			conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout())
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			c.conn = conn
+		}
+		resp, err := c.roundTrip(req)
+		if err == nil {
+			return resp, nil
+		}
+		if resp != nil {
+			// The server answered: an application or protocol error,
+			// not a transport fault. Retrying cannot help.
+			return resp, err
+		}
+		lastErr = err
+		c.conn.Close()
+		c.conn = nil
+	}
+	return nil, fmt.Errorf("controlplane: %s failed after %d attempts: %w", req.Op, attempts, lastErr)
+}
+
+// roundTrip performs one attempt on the current connection. A non-nil
+// Response with a non-nil error marks a server-delivered failure that
+// must not be retried.
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	deadline := time.Now().Add(c.timeout())
 	if err := c.conn.SetDeadline(deadline); err != nil {
 		return nil, err
 	}
@@ -50,12 +159,48 @@ func (c *Client) call(req *Request) (*Response, error) {
 		return nil, err
 	}
 	if resp.ID != req.ID {
-		return nil, fmt.Errorf("controlplane: response id %d for request %d", resp.ID, req.ID)
+		return &resp, fmt.Errorf("controlplane: response id %d for request %d", resp.ID, req.ID)
 	}
 	if !resp.OK {
 		return &resp, fmt.Errorf("controlplane: %s", resp.Error)
 	}
 	return &resp, nil
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout <= 0 {
+		return 5 * time.Second
+	}
+	return c.Timeout
+}
+
+func (c *Client) dialTimeout() time.Duration {
+	if c.DialTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return c.DialTimeout
+}
+
+// backoff returns the exponential, jittered sleep before retry `attempt`
+// (1-based).
+func (c *Client) backoff(attempt int) time.Duration {
+	base := c.Retry.BaseBackoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := c.Retry.MaxBackoff
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base << uint(attempt-1)
+	if d > max || d <= 0 {
+		d = max
+	}
+	if f := c.Retry.JitterFrac; f > 0 {
+		j := 1 + f*(2*c.rng.Float64()-1)
+		d = time.Duration(float64(d) * j)
+	}
+	return d
 }
 
 // Ping checks liveness.

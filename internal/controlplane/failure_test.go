@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"pipeleon/internal/faultinject"
 	"pipeleon/internal/p4ir"
 )
 
@@ -105,6 +106,152 @@ func TestClientTimeoutOnSilentServer(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 2*time.Second {
 		t.Fatalf("timeout took %v, want ~200ms", elapsed)
+	}
+}
+
+// fastRetry configures tight retry timings so failure tests stay quick.
+func fastRetry(cl *Client) {
+	cl.Timeout = 300 * time.Millisecond
+	cl.Retry = RetryPolicy{MaxAttempts: 5, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 100 * time.Millisecond, JitterFrac: 0.2}
+}
+
+func TestClientSurvivesServerRestart(t *testing.T) {
+	backend := newFakeBackend()
+	srv1, err := NewServer("127.0.0.1:0", backend, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv1.Addr()
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	fastRetry(cl)
+
+	e1 := p4ir.Entry{Match: []p4ir.MatchValue{{Value: 1}}, Action: "drop_packet"}
+	if err := cl.InsertEntry("acl", e1); err != nil {
+		t.Fatal(err)
+	}
+	// Restart the server on the same address, same backend.
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := NewServer(addr, backend, nil)
+	if err != nil {
+		t.Fatalf("restarting server on %s: %v", addr, err)
+	}
+	defer srv2.Close()
+
+	// The same client session keeps working: the dead connection is
+	// re-dialed transparently on the next call.
+	e2 := p4ir.Entry{Match: []p4ir.MatchValue{{Value: 2}}, Action: "drop_packet"}
+	if err := cl.InsertEntry("acl", e2); err != nil {
+		t.Fatalf("insert after restart: %v", err)
+	}
+	if got := len(backend.Current().Tables["acl"].Entries); got != 2 {
+		t.Errorf("entries after restart = %d, want 2 (no loss, no duplicates)", got)
+	}
+}
+
+func TestRetriedInsertNotDuplicated(t *testing.T) {
+	// The server applies the insert, then the connection dies before the
+	// response — the ambiguous failure. The client's retry carries the
+	// same idempotency key, so the server replays the recorded response
+	// instead of inserting twice.
+	script := faultinject.NewScript()
+	backend := newFakeBackend()
+	srv, err := NewServer("127.0.0.1:0", backend, nil, WithFaultInjector(script))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	fastRetry(cl)
+	script.Queue(faultinject.PointConnWrite, faultinject.Decision{Drop: true})
+
+	e := p4ir.Entry{Match: []p4ir.MatchValue{{Value: 7}}, Action: "drop_packet"}
+	if err := cl.InsertEntry("acl", e); err != nil {
+		t.Fatalf("retried insert failed: %v", err)
+	}
+	if script.Fired(faultinject.PointConnWrite) != 1 {
+		t.Fatal("connection-drop fault did not fire")
+	}
+	if got := len(backend.Current().Tables["acl"].Entries); got != 1 {
+		t.Errorf("entries = %d, want exactly 1 (retry deduplicated)", got)
+	}
+}
+
+func TestClientRecoversFromStalledResponse(t *testing.T) {
+	// The server stalls one response past the client's timeout; the
+	// client retries on a fresh connection and the idempotency key
+	// prevents double application.
+	script := faultinject.NewScript()
+	backend := newFakeBackend()
+	srv, err := NewServer("127.0.0.1:0", backend, nil, WithFaultInjector(script))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	fastRetry(cl)
+	cl.Timeout = 100 * time.Millisecond
+	script.Queue(faultinject.PointConnWrite, faultinject.Decision{Delay: 400 * time.Millisecond})
+
+	e := p4ir.Entry{Match: []p4ir.MatchValue{{Value: 9}}, Action: "drop_packet"}
+	if err := cl.InsertEntry("acl", e); err != nil {
+		t.Fatalf("insert through stalled response failed: %v", err)
+	}
+	if got := len(backend.Current().Tables["acl"].Entries); got != 1 {
+		t.Errorf("entries = %d, want exactly 1", got)
+	}
+}
+
+func TestDroppedConnectionMidSessionReconnects(t *testing.T) {
+	script := faultinject.NewScript()
+	backend := newFakeBackend()
+	srv, err := NewServer("127.0.0.1:0", backend, nil, WithFaultInjector(script))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	fastRetry(cl)
+	// Drop the connection before the request is even handled.
+	script.Queue(faultinject.PointConnRead, faultinject.Decision{Drop: true})
+
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("ping through dropped connection failed: %v", err)
+	}
+	if script.Fired(faultinject.PointConnRead) != 1 {
+		t.Fatal("connection-drop fault did not fire")
+	}
+}
+
+func TestDialTimeoutBounded(t *testing.T) {
+	// 203.0.113.1 (TEST-NET-3) blackholes, refuses, or is intercepted
+	// depending on the host's routing; whatever happens, the dial must
+	// return within the configured bound rather than blocking
+	// indefinitely (the old Dial used net.Dial with no deadline).
+	start := time.Now()
+	cl, err := DialTimeout("203.0.113.1:9", 150*time.Millisecond)
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("dial took %v, want bounded by ~150ms timeout", elapsed)
+	}
+	if err == nil {
+		cl.Close() // some sandboxes intercept arbitrary dials
 	}
 }
 

@@ -35,8 +35,13 @@ const (
 
 // Request is one control-plane call.
 type Request struct {
-	ID    uint64 `json:"id"`
-	Op    Op     `json:"op"`
+	ID uint64 `json:"id"`
+	Op Op     `json:"op"`
+	// Idem is an idempotency key carried by mutating requests. A retry
+	// after an ambiguous failure (applied-but-unacknowledged) reuses the
+	// key, and the server replays the recorded response instead of
+	// applying the mutation twice.
+	Idem  string `json:"idem,omitempty"`
 	Table string `json:"table,omitempty"`
 	// Entry is used by insert.
 	Entry *WireEntry `json:"entry,omitempty"`
@@ -63,6 +68,16 @@ func (w *WireEntry) ToEntry() p4ir.Entry {
 // FromEntry converts from the IR form.
 func FromEntry(e p4ir.Entry) *WireEntry {
 	return &WireEntry{Priority: e.Priority, Match: e.Match, Action: e.Action, Args: e.Args}
+}
+
+// mutating reports whether an op changes server state (and therefore
+// needs idempotency protection across retries).
+func mutating(op Op) bool {
+	switch op {
+	case OpInsert, OpDelete, OpModify:
+		return true
+	}
+	return false
 }
 
 // Response answers one request.

@@ -3,10 +3,13 @@ package controlplane
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"log"
 	"net"
 	"sync"
+	"time"
 
+	"pipeleon/internal/faultinject"
 	"pipeleon/internal/p4ir"
 	"pipeleon/internal/profile"
 )
@@ -19,11 +22,63 @@ type Backend interface {
 	Current() *p4ir.Program
 }
 
+// idemEntries bounds the server's idempotency-replay window. Old keys are
+// evicted FIFO; a retry arriving after eviction re-applies (the window is
+// sized far beyond any client's in-flight retry horizon).
+const idemEntries = 4096
+
+// idemCache remembers the response of recently seen mutating requests by
+// idempotency key, so a retried request replays the recorded outcome
+// instead of double-applying.
+type idemCache struct {
+	mu      sync.Mutex
+	entries map[string]*Response
+	order   []string
+}
+
+func newIdemCache() *idemCache {
+	return &idemCache{entries: map[string]*Response{}}
+}
+
+func (ic *idemCache) get(key string) (*Response, bool) {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	r, ok := ic.entries[key]
+	return r, ok
+}
+
+func (ic *idemCache) put(key string, resp *Response) {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	if _, dup := ic.entries[key]; dup {
+		ic.entries[key] = resp
+		return
+	}
+	ic.entries[key] = resp
+	ic.order = append(ic.order, key)
+	for len(ic.order) > idemEntries {
+		delete(ic.entries, ic.order[0])
+		ic.order = ic.order[1:]
+	}
+}
+
+// ServerOption customizes a Server.
+type ServerOption func(*Server)
+
+// WithFaultInjector makes the server consult inj on connection reads,
+// response writes, and counter reads — the control-plane half of the
+// fault-injection harness. Production servers omit it.
+func WithFaultInjector(inj faultinject.Injector) ServerOption {
+	return func(s *Server) { s.faults = inj }
+}
+
 // Server serves the control protocol over TCP.
 type Server struct {
 	backend   Backend
 	collector *profile.Collector // optional, for OpCounters
 	ln        net.Listener
+	idem      *idemCache
+	faults    faultinject.Injector
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -33,12 +88,16 @@ type Server struct {
 
 // NewServer starts a server on addr (e.g. "127.0.0.1:0"). The collector
 // may be nil, disabling OpCounters.
-func NewServer(addr string, backend Backend, collector *profile.Collector) (*Server, error) {
+func NewServer(addr string, backend Backend, collector *profile.Collector, opts ...ServerOption) (*Server, error) {
+	s := &Server{backend: backend, collector: collector, conns: map[net.Conn]struct{}{}, idem: newIdemCache()}
+	for _, o := range opts {
+		o(s)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{backend: backend, collector: collector, ln: ln, conns: map[net.Conn]struct{}{}}
+	s.ln = ln
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -82,6 +141,10 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+func (s *Server) faultAt(p faultinject.Point) faultinject.Decision {
+	return faultinject.At(s.faults, p)
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -93,12 +156,36 @@ func (s *Server) serveConn(conn net.Conn) {
 	for {
 		var req Request
 		if err := readFrame(conn, &req); err != nil {
-			if !errors.Is(err, net.ErrClosed) {
-				// EOF on client close is the normal shutdown path.
+			switch {
+			case errors.Is(err, io.EOF), errors.Is(err, net.ErrClosed):
+				// Clean client close / server shutdown.
+			case errors.Is(err, io.ErrUnexpectedEOF):
+				log.Printf("controlplane: %s: truncated frame: %v", conn.RemoteAddr(), err)
+			default:
+				log.Printf("controlplane: %s: malformed or failed read: %v", conn.RemoteAddr(), err)
 			}
 			return
 		}
+		if d := s.faultAt(faultinject.PointConnRead); !d.None() {
+			if d.Delay > 0 {
+				time.Sleep(d.Delay)
+			}
+			if d.Drop {
+				return
+			}
+		}
 		resp := s.handle(&req)
+		// A drop here models the ambiguous failure: the mutation is
+		// applied (and its outcome recorded under the idempotency key)
+		// but the client never sees the response.
+		if d := s.faultAt(faultinject.PointConnWrite); !d.None() {
+			if d.Delay > 0 {
+				time.Sleep(d.Delay)
+			}
+			if d.Drop {
+				return
+			}
+		}
 		if err := writeFrame(conn, resp); err != nil {
 			log.Printf("controlplane: write: %v", err)
 			return
@@ -107,6 +194,21 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 func (s *Server) handle(req *Request) *Response {
+	if req.Idem != "" && mutating(req.Op) {
+		if prev, ok := s.idem.get(req.Idem); ok {
+			replay := *prev
+			replay.ID = req.ID
+			return &replay
+		}
+	}
+	resp := s.apply(req)
+	if req.Idem != "" && mutating(req.Op) {
+		s.idem.put(req.Idem, resp)
+	}
+	return resp
+}
+
+func (s *Server) apply(req *Request) *Response {
 	resp := &Response{ID: req.ID, OK: true}
 	fail := func(err error) *Response {
 		resp.OK = false
@@ -141,7 +243,9 @@ func (s *Server) handle(req *Request) *Response {
 		// tables (the management-API view); fall back to the raw
 		// collector.
 		var snap *profile.Profile
-		if tr, ok := s.backend.(interface{ TranslatedCounters() *profile.Profile }); ok {
+		if d := s.faultAt(faultinject.PointCounters); d.Zero {
+			snap = profile.New() // stale/zeroed window
+		} else if tr, ok := s.backend.(interface{ TranslatedCounters() *profile.Profile }); ok {
 			snap = tr.TranslatedCounters()
 		} else if s.collector != nil {
 			snap = s.collector.Snapshot()

@@ -16,13 +16,16 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
 	"pipeleon/internal/costmodel"
+	"pipeleon/internal/faultinject"
 	"pipeleon/internal/nicsim"
 	"pipeleon/internal/opt"
 	"pipeleon/internal/p4ir"
+	"pipeleon/internal/packet"
 	"pipeleon/internal/pipelet"
 	"pipeleon/internal/profile"
 )
@@ -50,6 +53,15 @@ type Runtime struct {
 	round     int
 	history   []RoundReport
 	lastCosts map[string]float64
+
+	// Fault tolerance (see guard.go): transactional deploys with
+	// verify-and-rollback, plan blacklisting, and a redeploy circuit
+	// breaker. All nil/zero when no guard is installed.
+	guard            *DeployGuard
+	faults           faultinject.Injector
+	blacklist        map[string]int // plan key -> last blacklisted round
+	consecFailures   int
+	breakerOpenUntil int
 }
 
 // RoundReport summarizes one optimization round.
@@ -76,6 +88,24 @@ type RoundReport struct {
 	// SkippedUnchanged is true when the round was skipped because no
 	// pipelet's cost moved past Options.ProfileChangeThreshold.
 	SkippedUnchanged bool
+	// Error records a search/collection failure; the loop continues and
+	// the round is still part of History.
+	Error string
+	// DeployError records a failed program swap (or failed rollback).
+	DeployError string
+	// RolledBack is true when the verification window contradicted the
+	// plan's prediction and the checkpointed program was restored.
+	RolledBack bool
+	// VerifyDelta is the measured relative mean-latency change across
+	// the deploy ((post-pre)/pre); only meaningful when a DeployGuard
+	// with a Sampler verified the round.
+	VerifyDelta float64
+	// PlanBlacklisted is true when the chosen plan was withheld because
+	// a recent rollback blacklisted it.
+	PlanBlacklisted bool
+	// BreakerOpen is true when the circuit breaker paused redeployment
+	// for this round.
+	BreakerOpen bool
 }
 
 // NewRuntime builds a runtime for the given original program, deploying it
@@ -139,14 +169,28 @@ func (r *Runtime) History() []RoundReport {
 // rates). It snapshots and resets the collector, so each round sees only
 // the most recent window — "Pipeleon constantly monitors the profile; when
 // it varies, a new round of optimization will be triggered".
+//
+// Every round — including failed ones — is recorded in History, so a
+// deploy error or rollback is observable and the Run loop can continue.
+// When a DeployGuard is installed, deployment is transactional: the
+// previous program and counter map are checkpointed, a verification
+// window compares measured latency against the plan's prediction, and a
+// contradicted deploy is rolled back and its plan blacklisted.
 func (r *Runtime) OptimizeOnce(window time.Duration) (RoundReport, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.round++
 	report := RoundReport{Round: r.round, HitRateFeedback: map[string]float64{}}
+	record := func() { r.history = append(r.history, report) }
 
 	optProf := r.collector.Snapshot()
 	r.collector.Reset()
+	if d := r.faultAt(faultinject.PointCounters); d.Zero {
+		// Stale/wiped counter window: the device returned no usable
+		// profile. Proceed with an empty window rather than stale data;
+		// the next healthy window re-triggers optimization.
+		optProf = profile.New()
+	}
 
 	// Entry-update rates: delta of data-plane update counts over the
 	// window, attributed to original table names via the API mapping's
@@ -182,6 +226,16 @@ func (r *Runtime) OptimizeOnce(window time.Duration) (RoundReport, error) {
 		origProf.UpdateRates[t] = rate
 	}
 
+	// Circuit breaker: after repeated failed or rolled-back deploys,
+	// pause redeployment (profiling continues) until the cooldown
+	// expires, then force a full re-evaluation.
+	if r.round <= r.breakerOpenUntil {
+		report.BreakerOpen = true
+		r.lastCosts = nil
+		record()
+		return report, nil
+	}
+
 	// Change detection (§2.3): re-optimize only when the profile
 	// signature moved materially since the last round.
 	newCosts := r.profileSignature(origProf)
@@ -189,7 +243,7 @@ func (r *Runtime) OptimizeOnce(window time.Duration) (RoundReport, error) {
 		if !costsChanged(r.lastCosts, newCosts, r.cfg.ProfileChangeThreshold) {
 			report.SkippedUnchanged = true
 			r.lastCosts = newCosts
-			r.history = append(r.history, report)
+			record()
 			return report, nil
 		}
 	}
@@ -197,6 +251,8 @@ func (r *Runtime) OptimizeOnce(window time.Duration) (RoundReport, error) {
 
 	res, rw, err := opt.SearchAndApply(r.orig, origProf, r.pm, r.cfg)
 	if err != nil {
+		report.Error = err.Error()
+		record()
 		return report, err
 	}
 	report.SearchTime = res.Elapsed
@@ -205,6 +261,21 @@ func (r *Runtime) OptimizeOnce(window time.Duration) (RoundReport, error) {
 	report.PlanSize = len(res.Plan)
 	for _, o := range res.Plan {
 		report.Plan = append(report.Plan, o.String())
+	}
+	// Cost-model misprediction fault: an inflated predicted gain must be
+	// caught by the verification window, not believed.
+	if d := r.faultAt(faultinject.PointPlan); d.Scale > 0 {
+		report.Gain = res.Gain * d.Scale
+	}
+	planKey := strings.Join(report.Plan, ";")
+	if r.planBlacklistedLocked(planKey) {
+		report.PlanBlacklisted = true
+		// Force the next round to re-evaluate: the withheld plan must be
+		// reconsidered once the blacklist expires even if the profile
+		// holds still.
+		r.lastCosts = nil
+		record()
+		return report, nil
 	}
 
 	next := r.orig
@@ -222,20 +293,86 @@ func (r *Runtime) OptimizeOnce(window time.Duration) (RoundReport, error) {
 	if len(r.activePlan) > 0 && rw != nil {
 		curGain := opt.ReScore(r.orig, origProf, r.pm, r.cfg, r.activePlan)
 		report.ActivePlanGain = curGain
-		if curGain > 0 && res.Gain < curGain*(1+r.cfg.RedeployMargin) {
-			r.history = append(r.history, report)
+		if curGain > 0 && report.Gain < curGain*(1+r.cfg.RedeployMargin) {
+			record()
 			return report, nil
 		}
 	}
 	// Deploy only when the layout actually changed.
 	if !samePrograms(next, r.current) {
+		// Checkpoint the deployed state; measure the pre-deploy baseline
+		// on the same sample the post-deploy window will replay.
+		prevProg, prevMap, prevPlan := r.current, r.cmap, r.activePlan
+		verifying := r.guard != nil && r.guard.Sampler != nil && rw != nil
+		var sample []*packet.Packet
+		var preM nicsim.Measurement
+		if verifying {
+			sample = r.guard.Sampler(r.guard.verifyPackets())
+			if len(sample) == 0 {
+				verifying = false
+			} else {
+				// One discarded pass before each measurement warms the
+				// caches, so pre and post compare steady state to steady
+				// state: a freshly swapped program starts cold, and
+				// measuring it against the warm incumbent would veto
+				// every cache plan.
+				r.nic.Measure(sample)
+				preM = r.nic.Measure(sample)
+			}
+		}
 		if err := r.nic.Swap(next); err != nil {
+			report.DeployError = err.Error()
+			r.noteDeployFailureLocked()
+			record()
 			return report, fmt.Errorf("core: deploy failed: %w", err)
 		}
 		r.current = next.Clone()
 		r.cmap = nextMap
 		r.activePlan = nextPlan
 		report.Deployed = true
+		if verifying {
+			r.nic.Measure(sample) // warm the fresh program's caches
+			postM := r.nic.Measure(sample)
+			delta := 0.0
+			if preM.MeanLatencyNs > 0 {
+				delta = (postM.MeanLatencyNs - preM.MeanLatencyNs) / preM.MeanLatencyNs
+			}
+			report.VerifyDelta = delta
+			realized := preM.MeanLatencyNs - postM.MeanLatencyNs
+			// The pre-deploy measurement ran on the currently deployed
+			// (possibly already optimized) program, so the prediction to
+			// hold the plan to is its gain *over the active plan*, not
+			// over the original baseline — otherwise replacing a good
+			// plan with a better one is judged against the sum of both
+			// improvements and spuriously rolled back.
+			predicted := report.Gain
+			if report.ActivePlanGain > 0 {
+				predicted -= report.ActivePlanGain
+			}
+			regressed := delta > r.guard.maxRegression()
+			unrealized := r.guard.MinRealizedGainFrac > 0 &&
+				predicted >= r.guard.minPredictedGain() &&
+				realized < r.guard.MinRealizedGainFrac*predicted
+			if regressed || unrealized {
+				if err := r.nic.Swap(prevProg); err != nil {
+					// Device wedged between two programs — the breaker
+					// is the only remaining backstop.
+					report.DeployError = fmt.Sprintf("rollback failed: %v", err)
+					r.noteDeployFailureLocked()
+					record()
+					return report, fmt.Errorf("core: rollback failed: %w", err)
+				}
+				r.current = prevProg
+				r.cmap = prevMap
+				r.activePlan = prevPlan
+				report.RolledBack = true
+				r.blacklistLocked(planKey)
+				r.noteDeployFailureLocked()
+				record()
+				return report, nil
+			}
+		}
+		r.consecFailures = 0
 	} else {
 		// Layout unchanged; refresh map/plan so entry ops stay mapped.
 		if rw != nil {
@@ -243,7 +380,7 @@ func (r *Runtime) OptimizeOnce(window time.Duration) (RoundReport, error) {
 			r.activePlan = nextPlan
 		}
 	}
-	r.history = append(r.history, report)
+	record()
 	return report, nil
 }
 

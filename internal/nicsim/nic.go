@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pipeleon/internal/costmodel"
+	"pipeleon/internal/faultinject"
 	"pipeleon/internal/p4ir"
 	"pipeleon/internal/packet"
 	"pipeleon/internal/profile"
@@ -74,6 +75,10 @@ type Config struct {
 	// which is why 1/1024 sampling still costs ~4-5% on Agilio CX
 	// (§5.4.1). Default 0.25 when Instrument is set.
 	SampleCheckFraction float64
+	// Faults, when non-nil, is consulted on program swaps so tests can
+	// inject deploy failures and silent mid-deploy crashes (the NIC left
+	// on the old program). Production configs leave it nil.
+	Faults faultinject.Injector
 }
 
 // NIC is one emulated SmartNIC running a program.
@@ -195,7 +200,24 @@ func sameCacheIdentity(a, b p4ir.CacheSpec) bool {
 // Swap atomically replaces the running program — the live runtime
 // reconfiguration of runtime-programmable SmartNICs (§2.3 deployment
 // scenario 1). Runtime cache contents do not survive a swap.
+//
+// Under fault injection a swap may fail (reload rejected, device keeps
+// the old program) or crash mid-deploy (reported success, old program
+// still running) — the failure modes the runtime's verify-and-rollback
+// deploy transaction exists to absorb.
 func (n *NIC) Swap(prog *p4ir.Program) error {
+	if n.cfg.Faults != nil {
+		d := n.cfg.Faults.At(faultinject.PointDeploy)
+		if d.Delay > 0 {
+			time.Sleep(d.Delay)
+		}
+		if d.Fail {
+			return fmt.Errorf("nicsim: deploy failed: %w", d.Error())
+		}
+		if d.Silent {
+			return nil
+		}
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.load(prog.Clone())

@@ -1,6 +1,8 @@
 package synth
 
 import (
+	"sort"
+
 	"pipeleon/internal/p4ir"
 	"pipeleon/internal/pipelet"
 	"pipeleon/internal/profile"
@@ -37,16 +39,29 @@ func SynthesizeProfile(prog *p4ir.Program, spec ProfileSpec) *profile.Profile {
 		p.FlowCardinality = 50_000 + rng.Uint64()%100_000
 	}
 
-	// Pass 1: random branch probabilities.
+	// Pass 1: random branch probabilities. Iterate names in sorted order:
+	// RNG draws inside a map-order loop would assign different values to
+	// each node across runs, making the "same seed" profile nondeterministic.
+	condNames := make([]string, 0, len(prog.Conds))
 	for name := range prog.Conds {
+		condNames = append(condNames, name)
+	}
+	sort.Strings(condNames)
+	for _, name := range condNames {
 		pt := rng.Float64()
 		t := uint64(pt * float64(total))
 		p.BranchCounts[name] = [2]uint64{t, total - t}
 	}
 	// Per-table behaviour knobs, drawn before reach so they are stable.
+	tableNames := make([]string, 0, len(prog.Tables))
+	for name := range prog.Tables {
+		tableNames = append(tableNames, name)
+	}
+	sort.Strings(tableNames)
 	dropRate := map[string]float64{}
 	mainRate := map[string]float64{}
-	for name, t := range prog.Tables {
+	for _, name := range tableNames {
+		t := prog.Tables[name]
 		var dr float64
 		if t.HasDropAction() {
 			switch spec.Category {
@@ -123,13 +138,18 @@ func SynthesizeProfile(prog *p4ir.Program, spec ProfileSpec) *profile.Profile {
 			p.ActionCounts[name] = counts
 			// Flow onward.
 			if t.IsSwitchCase() {
-				for act, cnt := range counts {
+				acts := make([]string, 0, len(counts))
+				for act := range counts {
+					acts = append(acts, act)
+				}
+				sort.Strings(acts)
+				for _, act := range acts {
 					if a := t.Action(act); a != nil && a.Drops() {
 						continue
 					}
 					nxt := t.NextFor(act)
 					if nxt != "" {
-						reach[nxt] += float64(cnt) / float64(total)
+						reach[nxt] += float64(counts[act]) / float64(total)
 					}
 				}
 			} else if t.BaseNext != "" {
