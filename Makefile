@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify
+.PHONY: build test vet race verify bench
 
 build:
 	$(GO) build ./...
@@ -19,3 +19,12 @@ race:
 # fault-injection paths are concurrent).
 verify:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
+
+# bench runs the hot-path micro-benchmarks (emulator fast path, parallel
+# measurement, search) plus the Figure 12 profiling-overhead benches, and
+# archives the parsed results in BENCH_emulator.json (see DESIGN.md's
+# "Performance architecture" for how to read it).
+bench:
+	$(GO) test -run '^$$' \
+		-bench 'BenchmarkEmulatorProcess|BenchmarkMeasureParallel|BenchmarkSearch$$|BenchmarkFig12' \
+		-benchmem . | $(GO) run ./cmd/benchjson -out BENCH_emulator.json

@@ -1,0 +1,131 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, so benchmark results can be archived and diffed (the
+// repo's `make bench` writes BENCH_emulator.json this way).
+//
+// Usage:
+//
+//	go test -bench '...' -benchmem | go run ./cmd/benchjson -out BENCH_emulator.json
+//
+// Input lines it understands look like
+//
+//	BenchmarkEmulatorProcess-8   	  912310	      1212 ns/op	     848 B/op	       2 allocs/op
+//	BenchmarkMeasureParallel/workers-8-8  	     100	  10510000 ns/op	   389000 pkts/s	...
+//
+// i.e. a benchmark name (the trailing -GOMAXPROCS suffix is stripped), an
+// iteration count, then (value, unit) pairs — including custom metrics
+// reported via b.ReportMetric. Everything else (PASS, ok, goos lines) is
+// passed over; the input is echoed to stdout so the command can sit at the
+// end of a pipeline without hiding the run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result.
+type Bench struct {
+	// Name is the benchmark (and sub-benchmark) name without the
+	// -GOMAXPROCS suffix, e.g. "BenchmarkMeasureParallel/workers-8".
+	Name string `json:"name"`
+	// Iterations is b.N for the recorded run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value: "ns/op", "B/op", "allocs/op", plus any
+	// custom b.ReportMetric units such as "pkts/s".
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is the output document.
+type Doc struct {
+	Goos       string  `json:"goos,omitempty"`
+	Goarch     string  `json:"goarch,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output JSON file (default: stdout only)")
+	flag.Parse()
+
+	doc := Doc{Benchmarks: []Bench{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		}
+		if b, ok := parseLine(line); ok {
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading input: %v\n", err)
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+// parseLine extracts one benchmark result; ok is false for non-result
+// lines.
+func parseLine(line string) (Bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Bench{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	b := Bench{Name: stripProcs(fields[0]), Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Bench{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	if len(b.Metrics) == 0 {
+		return Bench{}, false
+	}
+	return b, true
+}
+
+// stripProcs removes the trailing -GOMAXPROCS suffix Go appends to
+// benchmark names (Benchmark/sub-8 -> Benchmark/sub).
+func stripProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"pipeleon/internal/experiments"
+	"pipeleon/internal/pprofutil"
 )
 
 type figList []string
@@ -39,8 +40,21 @@ func main() {
 		list    = flag.Bool("list", false, "list figure ids")
 		outPath = flag.String("out", "", "also write results to this file")
 		seed    = flag.Uint64("seed", 42, "experiment seed")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	stopCPU, err := pprofutil.StartCPU(*cpuProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := pprofutil.WriteHeap(*memProf); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		}
+	}()
 
 	if *list {
 		for _, r := range experiments.All() {

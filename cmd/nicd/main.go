@@ -121,12 +121,9 @@ func main() {
 		gen.SetSkew(*skew)
 	}
 	if gen != nil && *verifyPkts > 0 {
-		// The guard samples from its own generator over the same flow
-		// population: trafficgen.Generator is not safe for concurrent use
-		// and the traffic goroutine keeps drawing from gen.
-		vgen := trafficgen.New(1, 0)
-		vgen.AddFlows(trafficgen.UniformFlows(2, *flows)...)
-		vgen.SetSkew(*skew)
+		// The guard samples concurrently with the traffic goroutine, so it
+		// takes its own Split child over the same flow population.
+		vgen := gen.Split(1)[0]
 		guard := core.DefaultDeployGuard(vgen.Batch)
 		guard.VerifyPackets = *verifyPkts
 		guard.MaxRegression = *maxRegress

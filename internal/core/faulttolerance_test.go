@@ -45,12 +45,6 @@ func newFaultRig(t *testing.T, inj faultinject.Injector) (*Runtime, *nicsim.NIC,
 	return rt, nic, gen
 }
 
-func hotGenerator() *trafficgen.Generator {
-	gen := trafficgen.New(1, 0)
-	gen.AddFlows(trafficgen.DropTargetedFlows(2, 2000, "tcp.dport", 23, 0.8)...)
-	return gen
-}
-
 // assertHealthy checks the runtime's view matches the device and the hot
 // ACL reorder is live.
 func assertHealthy(t *testing.T, rt *Runtime, nic *nicsim.NIC) {
@@ -274,10 +268,9 @@ func TestRunLoopSurvivesFaultBurst(t *testing.T) {
 	script.Queue(faultinject.PointDeploy,
 		faultinject.Decision{Fail: true},
 		faultinject.Decision{Silent: true})
-	// The guard samples from its own generator: trafficgen.Generator is
-	// not safe for concurrent use and the test goroutine keeps driving
-	// traffic from gen.
-	guard := DefaultDeployGuard(hotGenerator().Batch)
+	// The guard samples concurrently with the test goroutine's traffic, so
+	// it draws from its own Split child of the hot-flow generator.
+	guard := DefaultDeployGuard(gen.Split(1)[0].Batch)
 	guard.MinRealizedGainFrac = 0.5
 	guard.BlacklistRounds = 1
 	rt.SetDeployGuard(guard)

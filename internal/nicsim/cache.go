@@ -87,11 +87,13 @@ func newFlowCache(spec p4ir.CacheSpec, fields []string) *flowCache {
 	}
 }
 
-// get looks up a key, refreshing LRU order on hit.
-func (c *flowCache) get(key string) (cachedResult, bool) {
+// get looks up a key, refreshing LRU order on hit. The []byte key is
+// indexed via string conversion directly in the map expression, which the
+// compiler turns into an allocation-free probe.
+func (c *flowCache) get(key []byte) (cachedResult, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.index[key]; ok {
+	if el, ok := c.index[string(key)]; ok {
 		c.lru.MoveToFront(el)
 		c.hits++
 		return el.Value.(*cacheNode).res, true
@@ -100,11 +102,14 @@ func (c *flowCache) get(key string) (cachedResult, bool) {
 	return cachedResult{}, false
 }
 
-// put installs a result, subject to the rate limit and LRU eviction.
-func (c *flowCache) put(key string, res cachedResult, now time.Time) bool {
+// put installs a result, subject to the rate limit and LRU eviction. The
+// key bytes and the result's writes slice are copied: callers reuse both
+// buffers across packets.
+func (c *flowCache) put(key []byte, res cachedResult, now time.Time) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.index[key]; ok {
+	res.writes = append([]fieldWrite(nil), res.writes...)
+	if el, ok := c.index[string(key)]; ok {
 		el.Value.(*cacheNode).res = res
 		c.lru.MoveToFront(el)
 		return true
@@ -121,7 +126,8 @@ func (c *flowCache) put(key string, res cachedResult, now time.Time) bool {
 			c.evictions++
 		}
 	}
-	c.index[key] = c.lru.PushFront(&cacheNode{key: key, res: res})
+	k := string(key)
+	c.index[k] = c.lru.PushFront(&cacheNode{key: k, res: res})
 	c.inserts++
 	return true
 }

@@ -1,0 +1,167 @@
+package nicsim
+
+import (
+	"strconv"
+	"strings"
+
+	"pipeleon/internal/p4ir"
+	"pipeleon/internal/packet"
+)
+
+// Compiled action primitives: operand strings ("$0", "ipv4.ttl", "0x2a")
+// are classified and parsed once, at table-build time, so executing an
+// action on the per-packet path is a switch over pre-resolved operands
+// with no string parsing and no allocation.
+
+type operandKind uint8
+
+const (
+	opLit operandKind = iota // literal constant
+	opField                  // packet field read
+	opArg                    // entry action-data reference ($i)
+)
+
+type operand struct {
+	kind  operandKind
+	lit   uint64
+	field string
+	arg   int
+}
+
+// compileOperand classifies one primitive operand. Unparseable literals
+// resolve to 0, matching the lenient behaviour of the former resolveArg.
+func compileOperand(arg string) operand {
+	if strings.HasPrefix(arg, "$") {
+		if i, err := strconv.Atoi(arg[1:]); err == nil && i >= 0 {
+			return operand{kind: opArg, arg: i}
+		}
+		return operand{kind: opLit}
+	}
+	if p4ir.IsFieldRef(arg) {
+		return operand{kind: opField, field: arg}
+	}
+	v, _ := strconv.ParseUint(arg, 0, 64)
+	return operand{kind: opLit, lit: v}
+}
+
+// value evaluates the operand against the packet and the matched entry's
+// pre-compiled action data. An out-of-range $i — or a $i whose entry arg
+// is itself a $ reference — yields 0, as resolveArg did.
+func (o operand) value(pkt *packet.Packet, cargs []operand) uint64 {
+	switch o.kind {
+	case opLit:
+		return o.lit
+	case opField:
+		v, _ := pkt.Get(o.field)
+		return v
+	default:
+		if o.arg >= len(cargs) {
+			return 0
+		}
+		a := cargs[o.arg]
+		if a.kind == opArg {
+			return 0
+		}
+		return a.value(pkt, nil)
+	}
+}
+
+type primKind uint8
+
+const (
+	prNop primKind = iota
+	prDrop
+	prModify
+	prAdd
+	prSub
+	prForward
+)
+
+type compiledPrim struct {
+	kind primKind
+	dst  string
+	a, b operand
+}
+
+// compiledAction is the executable form of a p4ir.Action.
+type compiledAction struct {
+	act *p4ir.Action
+	// idx is the action's position in its table's Actions slice — the
+	// integer the execution plan uses for next-node and counter-slot
+	// dispatch.
+	idx int
+	// prims is 1:1 with act.Primitives (latency is charged per primitive,
+	// including no-ops).
+	prims []compiledPrim
+	// isCacheMiss marks the miss action of a pre-populated merged cache.
+	isCacheMiss bool
+}
+
+func compileAction(act *p4ir.Action, idx int) *compiledAction {
+	ca := &compiledAction{act: act, idx: idx, isCacheMiss: act.Name == "cache_miss"}
+	ca.prims = make([]compiledPrim, len(act.Primitives))
+	for i, prim := range act.Primitives {
+		cp := compiledPrim{kind: prNop}
+		switch prim.Op {
+		case "drop", "mark_to_drop":
+			cp.kind = prDrop
+		case "modify_field":
+			if len(prim.Args) >= 2 {
+				cp = compiledPrim{kind: prModify, dst: prim.Args[0], a: compileOperand(prim.Args[1])}
+			}
+		case "add", "subtract":
+			if len(prim.Args) >= 3 {
+				cp = compiledPrim{
+					kind: prAdd,
+					dst:  prim.Args[0],
+					a:    compileOperand(prim.Args[1]),
+					b:    compileOperand(prim.Args[2]),
+				}
+				if prim.Op == "subtract" {
+					cp.kind = prSub
+				}
+			}
+		case "forward":
+			if len(prim.Args) >= 1 {
+				cp = compiledPrim{kind: prForward, a: compileOperand(prim.Args[0])}
+			}
+		}
+		ca.prims[i] = cp
+	}
+	return ca
+}
+
+// apply executes the action against the packet. Successful field writes
+// are appended to *writes when writes is non-nil (cache fills in
+// progress); the bool result reports whether the packet dropped.
+func (ca *compiledAction) apply(pkt *packet.Packet, cargs []operand, writes *[]fieldWrite) bool {
+	for i := range ca.prims {
+		pr := &ca.prims[i]
+		switch pr.kind {
+		case prDrop:
+			return true
+		case prModify:
+			v := pr.a.value(pkt, cargs)
+			if err := pkt.Set(pr.dst, v); err == nil && writes != nil {
+				*writes = append(*writes, fieldWrite{field: pr.dst, value: v})
+			}
+		case prAdd, prSub:
+			a := pr.a.value(pkt, cargs)
+			b := pr.b.value(pkt, cargs)
+			v := a + b
+			if pr.kind == prSub {
+				v = a - b
+			}
+			if err := pkt.Set(pr.dst, v); err == nil && writes != nil {
+				*writes = append(*writes, fieldWrite{field: pr.dst, value: v})
+			}
+		case prForward:
+			v := pr.a.value(pkt, cargs)
+			_ = pkt.Set("meta.egress_port", v)
+			if writes != nil {
+				*writes = append(*writes, fieldWrite{field: "meta.egress_port", value: v})
+			}
+		}
+	}
+	return false
+}

@@ -100,6 +100,12 @@ func (n *NIC) mutateTable(table string, f func(*p4ir.Table) error) error {
 		return err
 	}
 	n.tables[table] = rt
+	// Publish the rebuilt table copy-on-write: in-flight Process calls
+	// keep walking the old plan; new calls see the new entries.
+	pl := n.plan.Load()
+	if id, ok := pl.ids[table]; ok {
+		n.plan.Store(pl.rebuiltNode(id, rt))
+	}
 	for _, fc := range n.coveredBy[table] {
 		fc.invalidate()
 	}
@@ -145,7 +151,5 @@ func (n *NIC) CacheStatsAll() []CacheStats {
 
 // Counters returns processed/dropped totals.
 func (n *NIC) Counters() (processed, dropped uint64) {
-	n.statMu.Lock()
-	defer n.statMu.Unlock()
-	return n.processed, n.dropped
+	return n.processed.Load(), n.droppedCnt.Load()
 }

@@ -1,0 +1,124 @@
+package nicsim
+
+import (
+	"reflect"
+	"testing"
+
+	"pipeleon/internal/costmodel"
+	"pipeleon/internal/profile"
+	"pipeleon/internal/synth"
+	"pipeleon/internal/trafficgen"
+)
+
+// The acceptance bar for the lock-free fast path: a seeded batch measured
+// serially and measured on 8 workers must produce bit-identical
+// Measurement aggregates and bit-identical profile snapshots. This holds
+// because (a) measurement noise is a pure function of (seed, flow,
+// latency), not of processing order, (b) per-packet results land in
+// per-index slots, and (c) with sampling=1 every profiling increment is a
+// commutative atomic add and key/flow sets are order-independent unions.
+// Caches (LRU state) and sampling wheels (every>1) are inherently
+// order-dependent, so the guarantee is scoped to cache-free programs at
+// full sampling — exactly the configuration the differential tests use.
+func TestMeasureSerialParallelEquivalence(t *testing.T) {
+	for trial := 0; trial < 4; trial++ {
+		seed := uint64(7700 + trial*311)
+		cat := synth.Category(trial % 4)
+		prog := synth.Program(synth.ProgramSpec{Pipelets: 5 + trial%3, AvgLen: 3, Category: cat, Seed: seed})
+
+		mkNIC := func() (*NIC, *profile.Collector) {
+			col := profile.NewCollector() // records every packet (sampling=1)
+			nic, err := New(prog, Config{
+				Params:      costmodel.BlueField2(),
+				Collector:   col,
+				Instrument:  true,
+				Seed:        seed,
+				NoiseStdDev: 0.05,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return nic, col
+		}
+
+		gen := trafficgen.New(seed, 0)
+		gen.AddFlows(trafficgen.UniformFlows(seed+1, 128)...)
+		gen.SetSkew(0.9)
+		pkts := gen.Batch(2000)
+
+		serialNIC, serialCol := mkNIC()
+		parallelNIC, parallelCol := mkNIC()
+		serial := serialNIC.Measure(pkts)
+		parallel := parallelNIC.MeasureParallel(pkts, 8)
+
+		if serial != parallel {
+			t.Errorf("trial %d: serial %+v != parallel %+v", trial, serial, parallel)
+		}
+		sp, pp := serialCol.Snapshot(), parallelCol.Snapshot()
+		if !reflect.DeepEqual(sp, pp) {
+			t.Errorf("trial %d: profile snapshots differ:\nserial:   %+v\nparallel: %+v", trial, sp, pp)
+		}
+
+		// Counters must agree too: same packets, same drops.
+		sProc, sDrop := serialNIC.Counters()
+		pProc, pDrop := parallelNIC.Counters()
+		if sProc != pProc || sDrop != pDrop {
+			t.Errorf("trial %d: counters (%d,%d) != (%d,%d)", trial, sProc, sDrop, pProc, pDrop)
+		}
+	}
+}
+
+// MeasureParallel over a concurrently shared collector must also be clean
+// when the same NIC is measured repeatedly: repeated seeded batches through
+// one instrumented NIC accumulate to exactly numRuns times the single-run
+// profile (commutative atomic adds), which the optimizer relies on when it
+// snapshots mid-traffic.
+func TestInstrumentedAccumulationIsExact(t *testing.T) {
+	prog := synth.Program(synth.ProgramSpec{Pipelets: 4, AvgLen: 3, Category: synth.Mixed, Seed: 91})
+	mk := func() (*NIC, *profile.Collector) {
+		col := profile.NewCollector()
+		nic, err := New(prog, Config{Params: costmodel.BlueField2(), Collector: col, Instrument: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nic, col
+	}
+	gen := trafficgen.New(17, 0)
+	gen.AddFlows(trafficgen.UniformFlows(18, 64)...)
+	pkts := gen.Batch(600)
+
+	once, onceCol := mk()
+	once.Measure(pkts)
+	ref := onceCol.Snapshot()
+
+	const runs = 3
+	multi, multiCol := mk()
+	for i := 0; i < runs; i++ {
+		multi.MeasureParallel(pkts, 4)
+	}
+	got := multiCol.Snapshot()
+
+	for table, acts := range ref.ActionCounts {
+		for act, c := range acts {
+			if got.ActionCounts[table][act] != runs*c {
+				t.Errorf("%s/%s: %d != %d*%d", table, act, got.ActionCounts[table][act], runs, c)
+			}
+		}
+	}
+	for cond, c := range ref.BranchCounts {
+		g := got.BranchCounts[cond]
+		if g[0] != runs*c[0] || g[1] != runs*c[1] {
+			t.Errorf("branch %s: %v != %d*%v", cond, g, runs, c)
+		}
+	}
+	// Cardinalities are sets, not counts: replaying the same batch must
+	// not inflate them.
+	if got.FlowCardinality != ref.FlowCardinality {
+		t.Errorf("flow cardinality %d != %d", got.FlowCardinality, ref.FlowCardinality)
+	}
+	for tbl, k := range ref.KeyCardinality {
+		if got.KeyCardinality[tbl] != k {
+			t.Errorf("key cardinality %s: %d != %d", tbl, got.KeyCardinality[tbl], k)
+		}
+	}
+}

@@ -2,9 +2,9 @@ package nicsim
 
 import (
 	"fmt"
-	"strconv"
-	"strings"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pipeleon/internal/costmodel"
@@ -53,7 +53,10 @@ type Config struct {
 	Instrument bool
 	// Seed / NoiseStdDev add deterministic multiplicative measurement
 	// noise, so "hardware measurements" differ from model predictions the
-	// way real measurements do (Figure 5's ~5% deviation).
+	// way real measurements do (Figure 5's ~5% deviation). The noise is a
+	// pure function of (seed, flow, noiseless latency), so it is
+	// independent of packet processing order — serial and parallel runs
+	// of the same batch produce bit-identical latencies.
 	Seed        uint64
 	NoiseStdDev float64
 	// MaxSteps guards against miswired programs (0 = auto).
@@ -82,6 +85,12 @@ type Config struct {
 }
 
 // NIC is one emulated SmartNIC running a program.
+//
+// The data path is lock-free: Process reads the current execution plan
+// through an atomic pointer and walks it with a pooled scratch context,
+// so packet processing scales with cores. n.mu serializes only the
+// control plane (Swap, entry mutation, introspection), which rebuilds
+// affected plan state copy-on-write and publishes it atomically.
 type NIC struct {
 	mu     sync.RWMutex
 	prog   *p4ir.Program
@@ -95,13 +104,36 @@ type NIC struct {
 	coveredBy   map[string][]*flowCache
 	vendorCache *flowCache
 
-	noiseMu sync.Mutex
-	noise   *stats.RNG
+	plan    atomic.Pointer[execPlan]
+	ctxPool sync.Pool
+	ctxSeq  atomic.Uint32
 
 	statMu       sync.Mutex
 	updateCounts map[string]uint64
-	processed    uint64
-	dropped      uint64
+	processed    atomic.Uint64
+	droppedCnt   atomic.Uint64
+}
+
+// procCtx is the reusable per-call scratch state of Process. Pooled so
+// steady-state processing performs no transient allocations; the shard
+// slot spreads concurrent contexts across the collector's counter banks.
+type procCtx struct {
+	slot    uint32
+	values  []uint64 // gathered match-key values
+	scratch []byte   // lookup key build buffer
+	keyBuf  []byte   // append-only per-packet cache-fill keys
+	path    []int32  // node ids traversed
+	writes  []fieldWrite
+	fills   []fillRef
+	fillBufs [][]fieldWrite // reusable write buffers, one per fill slot
+}
+
+type fillRef struct {
+	cache          *flowCache
+	keyOff, keyLen int
+	covers         []uint64 // node-id bitset; nil = every table (vendor)
+	writes         []fieldWrite
+	dropped        bool
 }
 
 // New builds a NIC executing prog under cfg.
@@ -109,11 +141,10 @@ func New(prog *p4ir.Program, cfg Config) (*NIC, error) {
 	n := &NIC{
 		cfg:          cfg,
 		pm:           cfg.Params,
-		noise:        stats.NewRNG(cfg.Seed + 1),
 		updateCounts: map[string]uint64{},
 	}
-	if err := n.load(prog); err != nil {
-		return nil, err
+	n.ctxPool.New = func() any {
+		return &procCtx{slot: n.ctxSeq.Add(1) - 1}
 	}
 	if cfg.VendorCache {
 		budget := cfg.VendorCacheBudget
@@ -124,15 +155,18 @@ func New(prog *p4ir.Program, cfg Config) (*NIC, error) {
 			Table: "__vendor_cache", Kind: p4ir.KindCache, Budget: budget,
 		}, nil)
 	}
+	if err := n.load(prog); err != nil {
+		return nil, err
+	}
 	return n, nil
 }
 
-// load compiles a program into runtime structures (callers hold no lock or
-// the write lock). Runtime caches whose identity (name + covered span +
-// budget) is unchanged keep their contents — live reconfiguration on
-// runtime-programmable SmartNICs preserves state that the new layout
-// still uses, so a re-optimization that keeps a cache does not cold-start
-// it.
+// load compiles a program into runtime structures and publishes a fresh
+// execution plan (callers hold no lock or the write lock). Runtime caches
+// whose identity (name + covered span + budget) is unchanged keep their
+// contents — live reconfiguration on runtime-programmable SmartNICs
+// preserves state that the new layout still uses, so a re-optimization
+// that keeps a cache does not cold-start it.
 func (n *NIC) load(prog *p4ir.Program) error {
 	if err := prog.Validate(); err != nil {
 		return err
@@ -179,6 +213,7 @@ func (n *NIC) load(prog *p4ir.Program) error {
 	n.conds = conds
 	n.caches = caches
 	n.coveredBy = coveredBy
+	n.plan.Store(n.compile())
 	return nil
 }
 
@@ -247,257 +282,280 @@ type Result struct {
 	VendorCacheHit bool
 }
 
-type activeFill struct {
-	cache  *flowCache
-	key    string
-	res    cachedResult
-	covers map[string]bool // nil = every table (vendor cache)
+// Process runs one packet through the program, mutating it in place, and
+// returns the emulated result. It takes no locks: the execution plan is
+// read through an atomic pointer and all scratch state lives in a pooled
+// context, so concurrent callers never contend.
+func (n *NIC) Process(pkt *packet.Packet) Result {
+	pl := n.plan.Load()
+	ctx := n.ctxPool.Get().(*procCtx)
+	res := n.run(pl, ctx, pkt)
+	ctx.path = ctx.path[:0]
+	ctx.keyBuf = ctx.keyBuf[:0]
+	ctx.writes = ctx.writes[:0]
+	ctx.fills = ctx.fills[:0]
+	n.ctxPool.Put(ctx)
+	return res
 }
 
-// Process runs one packet through the program, mutating it in place, and
-// returns the emulated result.
-func (n *NIC) Process(pkt *packet.Packet) Result {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-
+func (n *NIC) run(pl *execPlan, ctx *procCtx, pkt *packet.Packet) Result {
 	var res Result
-	lat := n.cfg.PerPacketOverheadNs
-	col := n.cfg.Collector
+	lat := pl.perPacketOver
+	flowHash := pkt.Flow().FastHash()
+
+	var shard *profile.Shard
+	if len(pl.shards) > 0 {
+		shard = pl.shards[int(ctx.slot)%len(pl.shards)]
+	}
 	sampled := false
-	if n.cfg.Instrument && col != nil {
-		sampled = col.Sampled()
+	if pl.instrument && shard != nil {
+		sampled = shard.Sampled()
 	}
-	charge := func(c float64, mult float64) { lat += c * mult }
-	sampleCheck := n.cfg.SampleCheckFraction
-	if n.cfg.Instrument && sampleCheck == 0 {
-		sampleCheck = 0.15
-	}
-	counter := func(record func(), mult float64) {
-		if sampled {
-			record()
-			res.CounterUpdates++
-			lat += n.pm.CounterUpdate * mult
-		} else if n.cfg.Instrument {
-			// The per-site sampling test is not free (§5.4.1).
-			lat += sampleCheck * n.pm.CounterUpdate * mult
-		}
+	if sampled {
+		shard.AddFlow(flowHash)
 	}
 
-	if sampled && col != nil {
-		col.RecordFlow(pkt.Flow().FastHash())
-	}
-
-	var fills []activeFill
 	// Vendor cache front-end.
-	if n.vendorCache != nil {
-		key := vendorKey(pkt)
-		lat += n.pm.Lmat
-		if r, ok := n.vendorCache.get(key); ok {
+	if pl.vendor != nil {
+		k := pkt.Flow()
+		off := len(ctx.keyBuf)
+		ctx.keyBuf = append(ctx.keyBuf,
+			byte(k.SrcAddr>>24), byte(k.SrcAddr>>16), byte(k.SrcAddr>>8), byte(k.SrcAddr),
+			byte(k.DstAddr>>24), byte(k.DstAddr>>16), byte(k.DstAddr>>8), byte(k.DstAddr),
+			byte(k.SrcPort>>8), byte(k.SrcPort),
+			byte(k.DstPort>>8), byte(k.DstPort),
+			k.Proto)
+		lat += pl.lmat
+		if r, ok := pl.vendor.get(ctx.keyBuf[off:]); ok {
 			for _, w := range r.writes {
 				_ = pkt.Set(w.field, w.value)
 			}
-			lat += float64(len(r.writes)) * n.pm.Lact
+			lat += float64(len(r.writes)) * pl.lact
 			res.VendorCacheHit = true
 			res.Dropped = r.dropped
-			res.LatencyNs = n.applyNoise(lat)
+			res.LatencyNs = pl.applyNoise(lat, flowHash)
 			n.note(res.Dropped)
 			return res
 		}
-		fills = append(fills, activeFill{cache: n.vendorCache, key: key})
+		ctx.addFill(pl.vendor, off, len(ctx.keyBuf)-off, nil)
 	}
 
-	cur := n.prog.Root
-	pipeline := ASIC
-	maxSteps := n.cfg.MaxSteps
-	if maxSteps <= 0 {
-		maxSteps = 4*n.prog.NumNodes() + 16
-	}
-	now := time.Now()
+	cur := pl.root
+	onCPU := false
 	dropped := false
 
-	for steps := 0; cur != "" && steps < maxSteps; steps++ {
-		res.Path = append(res.Path, cur)
-		if t, c := n.prog.Node(cur); t != nil {
-			// Pipeline placement and migration.
-			target := n.placement(t)
-			if target != pipeline && !n.cfg.CopiedTables[t.Name] {
-				charge(n.pm.MigrationLatency, 1)
-				res.Migrations++
-				pipeline = target
-			}
+	for steps := 0; cur >= 0 && steps < pl.maxSteps; steps++ {
+		nd := &pl.nodes[cur]
+		ctx.path = append(ctx.path, cur)
+		if nd.kind == nkCond {
 			mult := 1.0
-			if pipeline == CPU {
-				mult = n.pm.CPUSlowdown
-				if mult <= 0 {
-					mult = 1
-				}
+			if onCPU {
+				mult = pl.condCPUMult
 			}
-			rt := n.tables[cur]
-			if fc, isCache := n.caches[cur]; isCache {
-				key := n.gatherKey(rt, pkt)
-				charge(n.pm.Lmat, mult)
-				if r, ok := fc.get(key); ok {
-					for _, w := range r.writes {
-						_ = pkt.Set(w.field, w.value)
-					}
-					charge(float64(len(r.writes))*n.pm.Lact, mult)
-					counter(func() {
-						col.RecordCache(cur, true)
-						col.RecordAction(cur, "cache_hit")
-					}, mult)
-					if r.dropped {
-						dropped = true
-						break
-					}
-					cur = fc.spec.HitNext
-					continue
-				}
-				counter(func() {
-					col.RecordCache(cur, false)
-					col.RecordAction(cur, "cache_miss")
-				}, mult)
-				covers := map[string]bool{}
-				for _, cov := range fc.spec.Covers {
-					covers[cov] = true
-				}
-				fills = append(fills, activeFill{cache: fc, key: key, covers: covers})
-				cur = fc.spec.MissNext
-				continue
+			lat += pl.condLat * mult
+			taken := nd.cond(pkt)
+			if sampled {
+				shard.IncBranch(int(nd.condSlot), taken)
+				res.CounterUpdates++
+				lat += pl.counterUpdate * mult
+			} else if pl.instrument {
+				lat += pl.sampleCheckCost * mult
 			}
-
-			// Ordinary (or pre-populated merged-cache) table.
-			values := n.gatherValues(rt, pkt)
-			if sampled && col != nil && len(values) > 0 {
-				col.RecordKey(cur, foldValues(values))
-			}
-			lr := rt.lookup(values)
-			act := rt.defaultAction
-			var entryArgs []string
-			if lr.hit {
-				act = lr.entry.action
-				entryArgs = lr.entry.entry.Args
-			}
-			charge(float64(lr.probes)*n.pm.Lmat*n.pm.TierFactor(t), mult)
-			if act == nil {
-				// Table with no actions: pure forwarding node.
-				cur = t.BaseNext
-				continue
-			}
-			charge(float64(len(act.Primitives))*n.pm.Lact, mult)
-			counter(func() {
-				col.RecordAction(cur, act.Name)
-				if spec, ok := t.CacheMeta(); ok && spec.Prepopulated {
-					col.RecordCache(cur, act.Name != "cache_miss")
-				}
-			}, mult)
-			writes, didDrop := applyAction(pkt, act, entryArgs)
-			for fi := range fills {
-				f := &fills[fi]
-				if f.covers == nil || f.covers[cur] {
-					f.res.writes = append(f.res.writes, writes...)
-					if didDrop {
-						f.res.dropped = true
-					}
-				}
-			}
-			if didDrop {
-				dropped = true
-				break
-			}
-			cur = t.NextFor(act.Name)
-		} else if c != nil {
-			mult := 1.0
-			if pipeline == CPU {
-				mult = n.pm.CPUSlowdown
-			}
-			charge(n.pm.CondLatency(), mult)
-			taken := n.conds[cur](pkt)
-			counter(func() { col.RecordBranch(cur, taken) }, mult)
 			if taken {
-				cur = c.TrueNext
+				cur = nd.trueNext
 			} else {
-				cur = c.FalseNext
+				cur = nd.falseNext
+			}
+			continue
+		}
+
+		// Pipeline placement and migration (tables and caches).
+		if nd.cpu != onCPU && !nd.copied {
+			lat += pl.migrationLat
+			res.Migrations++
+			onCPU = nd.cpu
+		}
+		mult := 1.0
+		if onCPU {
+			mult = pl.cpuSlowdown
+		}
+		rt := nd.rt
+
+		if nd.kind == nkCache {
+			ctx.gather(rt, pkt)
+			lat += pl.lmat * mult
+			off := len(ctx.keyBuf)
+			for _, v := range ctx.values {
+				ctx.keyBuf = append(ctx.keyBuf,
+					byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+					byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+			}
+			if r, ok := nd.fc.get(ctx.keyBuf[off:]); ok {
+				for _, w := range r.writes {
+					_ = pkt.Set(w.field, w.value)
+				}
+				lat += float64(len(r.writes)) * pl.lact * mult
+				if sampled {
+					shard.IncCache(int(nd.cacheSlot), true)
+					shard.IncAction(int(nd.hitSite))
+					res.CounterUpdates++
+					lat += pl.counterUpdate * mult
+				} else if pl.instrument {
+					lat += pl.sampleCheckCost * mult
+				}
+				if r.dropped {
+					dropped = true
+					break
+				}
+				cur = nd.hitNext
+				continue
+			}
+			if sampled {
+				shard.IncCache(int(nd.cacheSlot), false)
+				shard.IncAction(int(nd.missSite))
+				res.CounterUpdates++
+				lat += pl.counterUpdate * mult
+			} else if pl.instrument {
+				lat += pl.sampleCheckCost * mult
+			}
+			ctx.addFill(nd.fc, off, len(ctx.keyBuf)-off, nd.covers)
+			cur = nd.missNext
+			continue
+		}
+
+		// Ordinary (or pre-populated merged-cache) table.
+		ctx.gather(rt, pkt)
+		if sampled && len(ctx.values) > 0 {
+			shard.AddKey(int(nd.keySlot), foldValues(ctx.values))
+		}
+		need := 8 * len(ctx.values)
+		if cap(ctx.scratch) < need {
+			ctx.scratch = make([]byte, need)
+		}
+		lr := rt.lookupBuf(ctx.values, ctx.scratch[:need])
+		act := rt.defaultAct
+		var cargs []operand
+		if lr.hit {
+			act = lr.entry.cact
+			cargs = lr.entry.cargs
+		}
+		lat += float64(lr.probes) * nd.lmatTier * mult
+		if act == nil {
+			// Table with no actions: pure forwarding node.
+			cur = nd.baseNext
+			continue
+		}
+		lat += float64(len(act.prims)) * pl.lact * mult
+		if sampled {
+			shard.IncAction(int(nd.actSites[act.idx]))
+			if nd.prepopSlot >= 0 {
+				shard.IncCache(int(nd.prepopSlot), !act.isCacheMiss)
+			}
+			res.CounterUpdates++
+			lat += pl.counterUpdate * mult
+		} else if pl.instrument {
+			lat += pl.sampleCheckCost * mult
+		}
+		var didDrop bool
+		if len(ctx.fills) > 0 {
+			ctx.writes = ctx.writes[:0]
+			didDrop = act.apply(pkt, cargs, &ctx.writes)
+			for fi := range ctx.fills {
+				f := &ctx.fills[fi]
+				if pl.coversBit(f.covers, cur) {
+					f.writes = append(f.writes, ctx.writes...)
+					if didDrop {
+						f.dropped = true
+					}
+				}
 			}
 		} else {
+			didDrop = act.apply(pkt, cargs, nil)
+		}
+		if didDrop {
+			dropped = true
 			break
 		}
+		cur = nd.nextByAct[act.idx]
 	}
 
 	// Finalize cache fills. Installing entries consumes entry-insertion
 	// bandwidth; the cost is charged once per packet (inserts into
 	// multiple caches are pipelined by the hardware update engine).
-	filled := false
-	for _, f := range fills {
-		if f.cache.put(f.key, f.res, now) {
-			filled = true
+	if len(ctx.fills) > 0 {
+		now := time.Now()
+		filled := false
+		for fi := range ctx.fills {
+			f := &ctx.fills[fi]
+			key := ctx.keyBuf[f.keyOff : f.keyOff+f.keyLen]
+			if f.cache.put(key, cachedResult{writes: f.writes, dropped: f.dropped}, now) {
+				filled = true
+			}
+			ctx.fillBufs = append(ctx.fillBufs, f.writes[:0])
+		}
+		if filled {
+			lat += pl.cacheFillCost
 		}
 	}
-	if filled {
-		lat += n.cfg.CacheFillCostNs
-	}
 	res.Dropped = dropped
-	res.LatencyNs = n.applyNoise(lat)
+	if len(ctx.path) > 0 {
+		names := make([]string, len(ctx.path))
+		for i, id := range ctx.path {
+			names[i] = pl.nodes[id].name
+		}
+		res.Path = names
+	}
+	res.LatencyNs = pl.applyNoise(lat, flowHash)
 	n.note(dropped)
 	return res
 }
 
-func (n *NIC) note(dropped bool) {
-	n.statMu.Lock()
-	n.processed++
-	if dropped {
-		n.dropped++
+// gather fills ctx.values with the table's width-masked key fields.
+func (ctx *procCtx) gather(rt *runtimeTable, pkt *packet.Packet) {
+	vals := ctx.values[:0]
+	for i, f := range rt.fields {
+		v, _ := pkt.Get(f)
+		if w := rt.widths[i]; w < 64 {
+			v &= (uint64(1) << w) - 1
+		}
+		vals = append(vals, v)
 	}
-	n.statMu.Unlock()
+	ctx.values = vals
 }
 
-func (n *NIC) applyNoise(lat float64) float64 {
-	if n.cfg.NoiseStdDev <= 0 {
+// addFill opens a cache-fill record, reusing a pooled write buffer.
+func (ctx *procCtx) addFill(fc *flowCache, keyOff, keyLen int, covers []uint64) {
+	var buf []fieldWrite
+	if n := len(ctx.fillBufs); n > 0 {
+		buf = ctx.fillBufs[n-1][:0]
+		ctx.fillBufs = ctx.fillBufs[:n-1]
+	}
+	ctx.fills = append(ctx.fills, fillRef{
+		cache: fc, keyOff: keyOff, keyLen: keyLen, covers: covers, writes: buf,
+	})
+}
+
+func (n *NIC) note(dropped bool) {
+	n.processed.Add(1)
+	if dropped {
+		n.droppedCnt.Add(1)
+	}
+}
+
+// applyNoise scales lat by a multiplicative noise factor that is a pure
+// function of (seed, flow, noiseless latency). Being stateless, it gives
+// identical results whatever order packets are processed in — the
+// property the serial/parallel equivalence guarantee rests on.
+func (pl *execPlan) applyNoise(lat float64, flowHash uint64) float64 {
+	if pl.noiseStd <= 0 {
 		return lat
 	}
-	n.noiseMu.Lock()
-	f := 1 + n.noise.NormFloat64()*n.cfg.NoiseStdDev
-	n.noiseMu.Unlock()
+	key := pl.noiseSeed ^ stats.Mix64(flowHash) ^ stats.Mix64(math.Float64bits(lat))
+	f := 1 + stats.NormAt(key)*pl.noiseStd
 	if f < 0.5 {
 		f = 0.5
 	}
 	return lat * f
-}
-
-// placement returns the pipeline a table executes on.
-func (n *NIC) placement(t *p4ir.Table) Pipeline {
-	if t.Unsupported || n.cfg.CPUTables[t.Name] {
-		return CPU
-	}
-	return ASIC
-}
-
-func (n *NIC) gatherValues(rt *runtimeTable, pkt *packet.Packet) []uint64 {
-	values := make([]uint64, len(rt.fields))
-	for i, f := range rt.fields {
-		v, _ := pkt.Get(f)
-		w := rt.widths[i]
-		if w < 64 {
-			v &= (uint64(1) << w) - 1
-		}
-		values[i] = v
-	}
-	return values
-}
-
-func (n *NIC) gatherKey(rt *runtimeTable, pkt *packet.Packet) string {
-	values := n.gatherValues(rt, pkt)
-	b := make([]byte, 8*len(values))
-	for i, v := range values {
-		for j := 0; j < 8; j++ {
-			b[i*8+j] = byte(v >> (56 - 8*j))
-		}
-	}
-	return string(b)
-}
-
-func vendorKey(pkt *packet.Packet) string {
-	k := pkt.Flow()
-	return fmt.Sprintf("%08x%08x%04x%04x%02x", k.SrcAddr, k.DstAddr, k.SrcPort, k.DstPort, k.Proto)
 }
 
 func foldValues(values []uint64) uint64 {
@@ -510,60 +568,4 @@ func foldValues(values []uint64) uint64 {
 		}
 	}
 	return h
-}
-
-// resolveArg evaluates a primitive operand: "$i" reads entry action data,
-// a dotted name reads a packet field, anything else parses as a literal.
-func resolveArg(pkt *packet.Packet, arg string, entryArgs []string) uint64 {
-	if strings.HasPrefix(arg, "$") {
-		if i, err := strconv.Atoi(arg[1:]); err == nil && i >= 0 && i < len(entryArgs) {
-			return resolveArg(pkt, entryArgs[i], nil)
-		}
-		return 0
-	}
-	if p4ir.IsFieldRef(arg) {
-		v, _ := pkt.Get(arg)
-		return v
-	}
-	v, _ := strconv.ParseUint(arg, 0, 64)
-	return v
-}
-
-// applyAction executes an action's primitives against the packet,
-// returning the field writes performed and whether the packet dropped.
-func applyAction(pkt *packet.Packet, act *p4ir.Action, entryArgs []string) (writes []fieldWrite, dropped bool) {
-	for _, prim := range act.Primitives {
-		switch prim.Op {
-		case "drop", "mark_to_drop":
-			return writes, true
-		case "modify_field":
-			if len(prim.Args) >= 2 {
-				v := resolveArg(pkt, prim.Args[1], entryArgs)
-				if err := pkt.Set(prim.Args[0], v); err == nil {
-					writes = append(writes, fieldWrite{field: prim.Args[0], value: v})
-				}
-			}
-		case "add", "subtract":
-			if len(prim.Args) >= 3 {
-				a := resolveArg(pkt, prim.Args[1], entryArgs)
-				b := resolveArg(pkt, prim.Args[2], entryArgs)
-				v := a + b
-				if prim.Op == "subtract" {
-					v = a - b
-				}
-				if err := pkt.Set(prim.Args[0], v); err == nil {
-					writes = append(writes, fieldWrite{field: prim.Args[0], value: v})
-				}
-			}
-		case "forward":
-			if len(prim.Args) >= 1 {
-				v := resolveArg(pkt, prim.Args[0], entryArgs)
-				_ = pkt.Set("meta.egress_port", v)
-				writes = append(writes, fieldWrite{field: "meta.egress_port", value: v})
-			}
-		case "no_op", "count":
-			// No packet effect; latency already charged per primitive.
-		}
-	}
-	return writes, false
 }

@@ -52,6 +52,13 @@ func (n *NIC) RunStream(ctx context.Context, in <-chan *packet.Packet, cores int
 		go func(core int) {
 			defer wg.Done()
 			for pkt := range coreIn[core] {
+				// An abandoned consumer stops reading out; the ctx branch
+				// below keeps the send from blocking forever, and this
+				// check keeps a worker from burning through the buffered
+				// backlog (the select picks randomly while out has space).
+				if ctx.Err() != nil {
+					return
+				}
 				res := n.Process(pkt)
 				select {
 				case out <- StreamResult{Packet: pkt, Result: res, Core: core}:

@@ -2,6 +2,7 @@ package nicsim
 
 import (
 	"context"
+	"runtime"
 	"testing"
 	"time"
 
@@ -99,6 +100,50 @@ func TestRunStreamFlowAffinity(t *testing.T) {
 			t.Errorf("flow %+v hit %d cores, want exactly 1", k, len(cores))
 		}
 	}
+}
+
+// A consumer that cancels and then walks away (never draining out) must
+// not strand the steering or worker goroutines: every internal send
+// selects on ctx.Done, so the pipeline unwinds and the goroutine count
+// returns to its pre-stream baseline.
+func TestRunStreamAbandonedConsumerNoLeak(t *testing.T) {
+	nic := streamNIC(t)
+	gen := trafficgen.New(5, 0)
+	gen.AddFlows(trafficgen.UniformFlows(6, 64)...)
+
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan *packet.Packet) // unbuffered: feeder stays blocked on send
+	feederDone := make(chan struct{})
+	go func() {
+		defer close(feederDone)
+		for {
+			select {
+			case in <- gen.Next():
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	out := nic.RunStream(ctx, in, 4)
+	// Read a few results so the pipeline is demonstrably flowing, then
+	// cancel and abandon the channel without draining it.
+	for i := 0; i < 8; i++ {
+		<-out
+	}
+	cancel()
+	<-feederDone
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC() // nudge scheduling so exiting goroutines retire
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked after abandoning stream: %d > baseline %d",
+		runtime.NumGoroutine(), base)
 }
 
 func TestRunStreamCancellation(t *testing.T) {

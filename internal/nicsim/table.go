@@ -43,6 +43,8 @@ type maskGroup struct {
 type storedEntry struct {
 	entry    p4ir.Entry
 	action   *p4ir.Action
+	cact     *compiledAction
+	cargs    []operand // entry action-data, pre-parsed
 	priority int
 }
 
@@ -55,14 +57,18 @@ type runtimeTable struct {
 	// groups, probe order: exact = 1 group; LPM = descending prefix bits;
 	// ternary = all groups probed, best priority wins.
 	groups []*maskGroup
-	// defaultAction executes on miss.
-	defaultAction *p4ir.Action
+	// acts are the pre-compiled actions, parallel to tbl.Actions.
+	acts []*compiledAction
+	// defaultAct executes on miss.
+	defaultAct *compiledAction
 	// fixedM optionally overrides the probe charge (emulated-NIC models
 	// that fix LPM/ternary cost).
 	fixedM int
 }
 
-// buildTable compiles a table's entries into its lookup structure.
+// buildTable compiles a table's entries into its lookup structure and its
+// actions into argument-resolved primitive lists, so the per-packet path
+// never parses operand strings.
 func buildTable(t *p4ir.Table, fixedLPM, fixedTernary int) (*runtimeTable, error) {
 	rt := &runtimeTable{
 		tbl:  t,
@@ -72,10 +78,16 @@ func buildTable(t *p4ir.Table, fixedLPM, fixedTernary int) (*runtimeTable, error
 		rt.fields = append(rt.fields, k.Field)
 		rt.widths = append(rt.widths, k.BitWidth())
 	}
+	rt.acts = make([]*compiledAction, len(t.Actions))
+	byName := make(map[string]*compiledAction, len(t.Actions))
+	for i, a := range t.Actions {
+		rt.acts[i] = compileAction(a, i)
+		byName[a.Name] = rt.acts[i]
+	}
 	if t.DefaultAction != "" {
-		rt.defaultAction = t.Action(t.DefaultAction)
-	} else if len(t.Actions) > 0 {
-		rt.defaultAction = t.Actions[len(t.Actions)-1]
+		rt.defaultAct = byName[t.DefaultAction]
+	} else if len(rt.acts) > 0 {
+		rt.defaultAct = rt.acts[len(rt.acts)-1]
 	}
 	switch rt.kind {
 	case p4ir.MatchLPM:
@@ -98,13 +110,17 @@ func buildTable(t *p4ir.Table, fixedLPM, fixedTernary int) (*runtimeTable, error
 			rt.groups = append(rt.groups, g)
 		}
 		key := maskedKey(entryValues(e), masks)
-		act := t.Action(e.Action)
-		if act == nil {
+		cact := byName[e.Action]
+		if cact == nil {
 			return nil, fmt.Errorf("table %q entry %d: unknown action %q", t.Name, i, e.Action)
 		}
 		prev, exists := g.entries[key]
 		if !exists || e.Priority > prev.priority {
-			g.entries[key] = &storedEntry{entry: *e, action: act, priority: e.Priority}
+			cargs := make([]operand, len(e.Args))
+			for j, arg := range e.Args {
+				cargs[j] = compileOperand(arg)
+			}
+			g.entries[key] = &storedEntry{entry: *e, action: cact.act, cact: cact, cargs: cargs, priority: e.Priority}
 		}
 	}
 	// Probe order: LPM longest prefix first; others stable by signature.
@@ -163,12 +179,21 @@ type lookupResult struct {
 
 // lookup matches the field values against the table.
 func (rt *runtimeTable) lookup(values []uint64) lookupResult {
+	return rt.lookupBuf(values, make([]byte, 8*len(values)))
+}
+
+// lookupBuf is lookup with a caller-provided scratch buffer (cap >=
+// 8*len(values)); the hot path reuses one buffer per processing context
+// so probing never allocates: maskedKeyInto + a direct map index on
+// string(buf) compile to a zero-copy map probe.
+func (rt *runtimeTable) lookupBuf(values []uint64, buf []byte) lookupResult {
 	res := lookupResult{}
 	switch rt.kind {
 	case p4ir.MatchExact:
 		res.probes = 1
 		if len(rt.groups) > 0 {
-			if se, ok := rt.groups[0].entries[maskedKey(values, rt.groups[0].masks)]; ok {
+			g := rt.groups[0]
+			if se, ok := g.entries[string(maskedKeyInto(buf, values, g.masks))]; ok {
 				res.entry, res.hit = se, true
 			}
 		}
@@ -181,7 +206,7 @@ func (rt *runtimeTable) lookup(values []uint64) lookupResult {
 			res.probes = 1
 		}
 		for _, g := range rt.groups {
-			if se, ok := g.entries[maskedKey(values, g.masks)]; ok {
+			if se, ok := g.entries[string(maskedKeyInto(buf, values, g.masks))]; ok {
 				res.entry, res.hit = se, true
 				break
 			}
@@ -192,7 +217,7 @@ func (rt *runtimeTable) lookup(values []uint64) lookupResult {
 			res.probes = 1
 		}
 		for _, g := range rt.groups {
-			if se, ok := g.entries[maskedKey(values, g.masks)]; ok {
+			if se, ok := g.entries[string(maskedKeyInto(buf, values, g.masks))]; ok {
 				if res.entry == nil || se.priority > res.entry.priority {
 					res.entry, res.hit = se, true
 				}
@@ -203,6 +228,16 @@ func (rt *runtimeTable) lookup(values []uint64) lookupResult {
 		res.probes = rt.fixedM
 	}
 	return res
+}
+
+// maskedKeyInto writes the masked key bytes into buf and returns the
+// filled prefix. buf must have capacity for 8*len(values) bytes.
+func maskedKeyInto(buf []byte, values, masks []uint64) []byte {
+	b := buf[:8*len(values)]
+	for i := range values {
+		binary.BigEndian.PutUint64(b[i*8:], values[i]&masks[i])
+	}
+	return b
 }
 
 // numGroups reports the live m of the table (distinct masks/prefixes).

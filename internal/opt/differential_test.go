@@ -35,7 +35,7 @@ func snapshotPacket(p *packet.Packet) map[string]uint64 {
 		v, _ := p.Get(f)
 		out[f] = v
 	}
-	for k, v := range p.Meta {
+	for k, v := range p.MetaMap() {
 		out[k] = v
 	}
 	return out

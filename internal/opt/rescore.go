@@ -35,14 +35,22 @@ func (ev *Evaluator) ScoreOption(o *Option) float64 {
 }
 
 // ReScore sums the re-evaluated gains of a plan under a new profile.
+// Options score independently (the evaluator is read-only after
+// construction), so scoring fans out over cfg.SearchWorkers; the per-option
+// scores are collected by index and summed serially, keeping the result
+// bit-identical to a serial run.
 func ReScore(prog *p4ir.Program, prof *profile.Profile, pm costmodel.Params, cfg Config, plan []*Option) float64 {
 	if len(plan) == 0 {
 		return 0
 	}
 	ev := NewEvaluator(prog, prof, pm, cfg)
+	scores := make([]float64, len(plan))
+	runIndexed(len(plan), cfg.searchWorkers(), func(i int) {
+		scores[i] = ev.ScoreOption(plan[i])
+	})
 	var total float64
-	for _, o := range plan {
-		total += ev.ScoreOption(o)
+	for _, s := range scores {
+		total += s
 	}
 	return total
 }

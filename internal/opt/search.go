@@ -1,6 +1,9 @@
 package opt
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"pipeleon/internal/costmodel"
@@ -31,9 +34,54 @@ type SearchResult struct {
 	CandidatesEvaluated int
 }
 
+// searchWorkers resolves the candidate-evaluation pool size.
+func (c Config) searchWorkers() int {
+	if c.SearchWorkers > 0 {
+		return c.SearchWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runIndexed evaluates f(0..n-1) on a pool of `workers` goroutines.
+// Callers write results into index i of a pre-sized slice, which keeps
+// output ordering (and therefore search results) deterministic whatever
+// the worker count.
+func runIndexed(n, workers int, f func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // Search runs one full optimization round (§4): partition into pipelets,
 // rank by cost under the profile, select the top-k, form pipelet groups,
 // enumerate per-unit candidates, and solve the global knapsack.
+//
+// Units (groups and ungrouped pipelets) are independent until the
+// knapsack, so their candidate enumeration fans out over a worker pool;
+// group membership is decided serially beforehand and results are
+// collected by index, so the outcome is identical to the serial search.
 func Search(prog *p4ir.Program, prof *profile.Profile, pm costmodel.Params, cfg Config) (*SearchResult, error) {
 	start := time.Now()
 	part, err := pipelet.Form(prog, cfg.MaxPipeletLen)
@@ -47,6 +95,13 @@ func Search(prog *p4ir.Program, prof *profile.Profile, pm costmodel.Params, cfg 
 	res.TopK = pipelet.TopK(res.Costs, cfg.TopKFrac)
 	ev := NewEvaluator(prog, prof, pm, cfg)
 
+	// Serial phase: decide group membership (a pipelet joins at most one
+	// group per round), which fixes the unit list and its order.
+	type unitTask struct {
+		group *pipelet.Group // nil for a single-pipelet unit
+		p     *pipelet.Pipelet
+	}
+	var tasks []unitTask
 	grouped := map[*pipelet.Pipelet]bool{}
 	if cfg.EnableGroups {
 		res.Groups = nil
@@ -59,32 +114,55 @@ func Search(prog *p4ir.Program, prof *profile.Profile, pm costmodel.Params, cfg 
 				}
 			}
 			if dup {
-				continue // a pipelet joins at most one group per round
+				continue
 			}
 			res.Groups = append(res.Groups, g)
-			memberOpts := make([][]*Option, len(g.Members))
-			for i, m := range g.Members {
-				memberOpts[i] = ev.LocalOptimize(m)
-				res.CandidatesEvaluated += len(memberOpts[i])
+			for _, m := range g.Members {
 				grouped[m] = true
 			}
-			opts := ev.GroupOptions(&g, memberOpts)
-			res.CandidatesEvaluated += len(opts)
-			if len(opts) > 0 {
-				res.Units = append(res.Units, Unit{Name: "group@" + g.Branch, Options: opts})
-			}
+		}
+		for i := range res.Groups {
+			tasks = append(tasks, unitTask{group: &res.Groups[i]})
 		}
 	}
 	for _, p := range res.TopK {
-		if grouped[p] {
-			continue
-		}
-		opts := ev.LocalOptimize(p)
-		res.CandidatesEvaluated += len(opts)
-		if len(opts) > 0 {
-			res.Units = append(res.Units, Unit{Name: p.String(), Options: opts})
+		if !grouped[p] {
+			tasks = append(tasks, unitTask{p: p})
 		}
 	}
+
+	// Parallel phase: enumerate and score each unit's candidates.
+	type unitOut struct {
+		unit       Unit
+		candidates int
+	}
+	outs := make([]unitOut, len(tasks))
+	runIndexed(len(tasks), cfg.searchWorkers(), func(i int) {
+		t := tasks[i]
+		if t.group != nil {
+			memberOpts := make([][]*Option, len(t.group.Members))
+			cand := 0
+			for j, m := range t.group.Members {
+				memberOpts[j] = ev.LocalOptimize(m)
+				cand += len(memberOpts[j])
+			}
+			opts := ev.GroupOptions(t.group, memberOpts)
+			outs[i] = unitOut{
+				unit:       Unit{Name: "group@" + t.group.Branch, Options: opts},
+				candidates: cand + len(opts),
+			}
+			return
+		}
+		opts := ev.LocalOptimize(t.p)
+		outs[i] = unitOut{unit: Unit{Name: t.p.String(), Options: opts}, candidates: len(opts)}
+	})
+	for _, o := range outs {
+		res.CandidatesEvaluated += o.candidates
+		if len(o.unit.Options) > 0 {
+			res.Units = append(res.Units, o.unit)
+		}
+	}
+
 	res.Plan = GlobalOptimize(res.Units, cfg.MemoryBudget, cfg.UpdateBudget, cfg)
 	res.Gain = PlanGain(res.Plan)
 	res.Elapsed = time.Since(start)

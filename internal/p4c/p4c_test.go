@@ -170,7 +170,7 @@ func TestCompiledProgramExecutes(t *testing.T) {
 	// TTL 1 skips classification.
 	pkt2 := pkt.Clone()
 	pkt2.IP.TTL = 1
-	pkt2.Meta = nil
+	pkt2.ClearMeta()
 	r2 := nic.Process(pkt2)
 	if len(r2.Path) != 3 || r2.Path[2] != "route" {
 		t.Errorf("ttl=1 path = %v", r2.Path)

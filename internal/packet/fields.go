@@ -51,11 +51,16 @@ func KnownFields() []string {
 	return out
 }
 
-// Get reads a named field from the packet. Metadata fields read from
-// p.Meta (zero when absent). ok is false only for unknown non-meta names.
+// Get reads a named field from the packet. Metadata fields read zero when
+// absent. ok is false only for unknown non-meta names.
 func (p *Packet) Get(name string) (uint64, bool) {
 	if strings.HasPrefix(name, "meta.") {
-		return p.Meta[name], true
+		for i := 0; i < int(p.nMeta); i++ {
+			if p.metaKeys[i] == name {
+				return p.metaVals[i], true
+			}
+		}
+		return p.metaOver[name], true
 	}
 	switch name {
 	case "eth.dstMac":
@@ -92,14 +97,31 @@ func (p *Packet) Get(name string) (uint64, bool) {
 	return 0, false
 }
 
-// Set writes a named field. Metadata fields allocate p.Meta lazily.
-// Unknown non-meta names return an error.
+// Set writes a named field. Unknown non-meta names return an error.
 func (p *Packet) Set(name string, v uint64) error {
 	if strings.HasPrefix(name, "meta.") {
-		if p.Meta == nil {
-			p.Meta = map[string]uint64{}
+		for i := 0; i < int(p.nMeta); i++ {
+			if p.metaKeys[i] == name {
+				p.metaVals[i] = v
+				return nil
+			}
 		}
-		p.Meta[name] = v
+		if p.metaOver != nil {
+			if _, ok := p.metaOver[name]; ok {
+				p.metaOver[name] = v
+				return nil
+			}
+		}
+		if int(p.nMeta) < metaInlineSlots {
+			p.metaKeys[p.nMeta] = name
+			p.metaVals[p.nMeta] = v
+			p.nMeta++
+			return nil
+		}
+		if p.metaOver == nil {
+			p.metaOver = map[string]uint64{}
+		}
+		p.metaOver[name] = v
 		return nil
 	}
 	switch name {
@@ -155,14 +177,38 @@ func u64ToMAC(v uint64, m *[6]byte) {
 }
 
 // Clone deep-copies the packet (payload shared — it is immutable in the
-// emulator; metadata copied).
+// emulator; metadata copied). Packets whose metadata fits the inline
+// slots clone in a single allocation.
 func (p *Packet) Clone() *Packet {
 	cp := *p
-	if p.Meta != nil {
-		cp.Meta = make(map[string]uint64, len(p.Meta))
-		for k, v := range p.Meta {
-			cp.Meta[k] = v
+	if p.metaOver != nil {
+		cp.metaOver = make(map[string]uint64, len(p.metaOver))
+		for k, v := range p.metaOver {
+			cp.metaOver[k] = v
 		}
 	}
 	return &cp
+}
+
+// MetaMap returns a copy of all metadata fields keyed by full name
+// ("meta.x"). Intended for tests and debugging, not the hot path.
+func (p *Packet) MetaMap() map[string]uint64 {
+	out := make(map[string]uint64, int(p.nMeta)+len(p.metaOver))
+	for i := 0; i < int(p.nMeta); i++ {
+		out[p.metaKeys[i]] = p.metaVals[i]
+	}
+	for k, v := range p.metaOver {
+		out[k] = v
+	}
+	return out
+}
+
+// ClearMeta removes every metadata field.
+func (p *Packet) ClearMeta() {
+	for i := 0; i < int(p.nMeta); i++ {
+		p.metaKeys[i] = ""
+		p.metaVals[i] = 0
+	}
+	p.nMeta = 0
+	p.metaOver = nil
 }

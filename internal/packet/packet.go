@@ -85,13 +85,23 @@ type Packet struct {
 	HasTCP  bool
 	HasUDP  bool
 	Payload []byte
-	// Meta holds program metadata fields keyed by full name ("meta.x").
-	// Lazily allocated.
-	Meta map[string]uint64
+	// Metadata fields ("meta.x") live in a small inline array so that
+	// metadata writes and Clone stay allocation-free on the emulator's
+	// hot path; programs touching more than metaInlineSlots distinct
+	// fields spill to the overflow map. Access via Get/Set/MetaMap.
+	nMeta    uint8
+	metaKeys [metaInlineSlots]string
+	metaVals [metaInlineSlots]uint64
+	metaOver map[string]uint64
 	// WireLen is the original wire length in bytes (for throughput math);
 	// Serialize output may differ if fields changed.
 	WireLen int
 }
+
+// metaInlineSlots is the inline metadata capacity. Synthetic workloads
+// write up to three scratch fields per table plus the egress port; 24
+// slots cover every program in the repo without spilling.
+const metaInlineSlots = 24
 
 // Header sizes.
 const (

@@ -11,6 +11,7 @@ package profile
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"pipeleon/internal/p4ir"
 )
@@ -221,21 +222,149 @@ func (p *Profile) Clone() *Profile {
 	return out
 }
 
+// ActionSite names one (table, action) counter slot in a Layout.
+type ActionSite struct {
+	Table  string
+	Action string
+}
+
+// Layout enumerates every instrumentation site of a compiled program so
+// the hot path can address counters by integer index instead of by string
+// key. The emulator builds one Layout per execution plan and binds it with
+// Collector.Bind; slot i of each slice is the site the plan's node
+// references by that index.
+type Layout struct {
+	// Actions lists (table, action) pairs; one counter per pair.
+	Actions []ActionSite
+	// Branches lists conditional names; two counters per site (true/false).
+	Branches []string
+	// Caches lists cache table names; two counters per site (hit/miss).
+	Caches []string
+	// Tables lists tables with distinct-key tracking; one key set per site.
+	Tables []string
+}
+
+// Shard is one core's lock-free counter bank for a bound Layout. Counters
+// are atomic so any goroutine may increment any shard, but the intended
+// pattern is one shard per processing context: increments are then
+// uncontended and scale linearly with cores. Key/flow sets are the only
+// mutex-guarded state, and they are touched at most once per sampled
+// packet. Counts are merged back into the owning Collector lazily, on
+// Snapshot/Reset/Bind — the hot path never takes the Collector's mutex.
+type Shard struct {
+	every *atomic.Uint64 // shared sampling divisor (the Collector's)
+	tick  *atomic.Uint64 // shared sampling wheel (the Collector's)
+
+	actions  []atomic.Uint64 // one per Layout.Actions slot
+	branches []atomic.Uint64 // two per Layout.Branches slot: [2i]=true, [2i+1]=false
+	caches   []atomic.Uint64 // two per Layout.Caches slot: [2i]=hit, [2i+1]=miss
+
+	mu    sync.Mutex
+	keys  []map[uint64]struct{} // one per Layout.Tables slot, lazily allocated
+	flows map[uint64]struct{}
+}
+
+// Sampled reports whether this packet should update counters, advancing
+// the collector-wide sampling wheel. The wheel is shared across shards so
+// exactly 1 in `every` packets is sampled regardless of how packets were
+// spread over shards; at every == 1 (record-all) the shared counter is
+// never touched and the fast path stays contention-free. With sampling
+// enabled (every > 1) which packets are selected depends on goroutine
+// interleaving, so serial and parallel runs agree exactly only at
+// every == 1.
+func (s *Shard) Sampled() bool {
+	e := s.every.Load()
+	if e <= 1 {
+		return true
+	}
+	return s.tick.Add(1)%e == 0
+}
+
+// IncAction counts one packet executing the action at the given slot.
+func (s *Shard) IncAction(slot int) { s.actions[slot].Add(1) }
+
+// IncBranch counts one conditional outcome at the given slot.
+func (s *Shard) IncBranch(slot int, taken bool) {
+	i := 2 * slot
+	if !taken {
+		i++
+	}
+	s.branches[i].Add(1)
+}
+
+// IncCache counts a cache hit or miss at the given slot.
+func (s *Shard) IncCache(slot int, hit bool) {
+	i := 2 * slot
+	if !hit {
+		i++
+	}
+	s.caches[i].Add(1)
+}
+
+// AddKey notes a distinct folded key value at the given table slot.
+func (s *Shard) AddKey(slot int, key uint64) {
+	s.mu.Lock()
+	set := s.keys[slot]
+	if set == nil {
+		set = map[uint64]struct{}{}
+		s.keys[slot] = set
+	}
+	if len(set) < keyCardCap {
+		set[key] = struct{}{}
+	}
+	s.mu.Unlock()
+}
+
+// AddFlow notes a distinct flow key.
+func (s *Shard) AddFlow(key uint64) {
+	s.mu.Lock()
+	if s.flows == nil {
+		s.flows = map[uint64]struct{}{}
+	}
+	if len(s.flows) < keyCardCap {
+		s.flows[key] = struct{}{}
+	}
+	s.mu.Unlock()
+}
+
+func (s *Shard) zeroLocked() {
+	for i := range s.actions {
+		s.actions[i].Store(0)
+	}
+	for i := range s.branches {
+		s.branches[i].Store(0)
+	}
+	for i := range s.caches {
+		s.caches[i].Store(0)
+	}
+	s.mu.Lock()
+	for i := range s.keys {
+		s.keys[i] = nil
+	}
+	s.flows = nil
+	s.mu.Unlock()
+}
+
 // Collector is the concurrent write side of profiling. The emulator's
-// cores call Record* on the hot path; the Pipeleon runtime calls Snapshot
-// on every optimization window.
+// cores call Record* on the hot path (legacy string-keyed API) or, after
+// Bind, increment per-shard integer-indexed counters; the Pipeleon
+// runtime calls Snapshot on every optimization window.
 type Collector struct {
 	mu sync.Mutex
 	p  *Profile
 	// every records 1-in-N sampling (1 = record all packets); counts are
 	// scaled by N at snapshot time so probabilities are unbiased.
-	every uint64
-	tick  uint64
+	every atomic.Uint64
+	tick  atomic.Uint64
 	// keys tracks distinct key values per table, capped at keyCardCap
 	// entries each to bound memory.
 	keys map[string]map[uint64]struct{}
 	// flows tracks distinct flow keys, capped like keys.
 	flows map[uint64]struct{}
+	// layout/shards is the currently bound integer-indexed counter bank
+	// (nil until Bind). Snapshot merges shards through the layout.
+	layout *Layout
+	shards []*Shard
 }
 
 // keyCardCap bounds the per-table distinct-key tracking set. Beyond the
@@ -245,7 +374,9 @@ const keyCardCap = 1 << 16
 
 // NewCollector returns a collector recording every packet.
 func NewCollector() *Collector {
-	return &Collector{p: New(), every: 1, keys: map[string]map[uint64]struct{}{}}
+	c := &Collector{p: New(), keys: map[string]map[uint64]struct{}{}}
+	c.every.Store(1)
+	return c
 }
 
 // SetSampling makes the collector record only one in every n packets
@@ -257,7 +388,7 @@ func (c *Collector) SetSampling(n uint64) {
 		n = 1
 	}
 	c.mu.Lock()
-	c.every = n
+	c.every.Store(n)
 	c.p.SampleRate = 1 / float64(n)
 	c.mu.Unlock()
 }
@@ -265,10 +396,106 @@ func (c *Collector) SetSampling(n uint64) {
 // Sampled reports whether this packet should update counters, advancing
 // the sampling wheel. Callers use it once per packet.
 func (c *Collector) Sampled() bool {
+	e := c.every.Load()
+	if e <= 1 {
+		return true
+	}
+	return c.tick.Add(1)%e == 0
+}
+
+// Bind installs a Layout and allocates n per-core shards for it,
+// returning them for the emulator to hand out to processing contexts.
+// Counts accumulated under a previous binding are folded into the
+// collector first, so rebinding on a program swap does not lose the
+// current profiling window. The returned shards stay valid until the next
+// Bind; Reset zeroes them in place rather than replacing them.
+func (c *Collector) Bind(l *Layout, n int) []*Shard {
+	if n < 1 {
+		n = 1
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.tick++
-	return c.tick%c.every == 0
+	c.foldShardsLocked()
+	c.layout = l
+	c.shards = make([]*Shard, n)
+	for i := range c.shards {
+		c.shards[i] = &Shard{
+			every:    &c.every,
+			tick:     &c.tick,
+			actions:  make([]atomic.Uint64, len(l.Actions)),
+			branches: make([]atomic.Uint64, 2*len(l.Branches)),
+			caches:   make([]atomic.Uint64, 2*len(l.Caches)),
+			keys:     make([]map[uint64]struct{}, len(l.Tables)),
+		}
+	}
+	return c.shards
+}
+
+// foldShardsLocked drains every shard's counters into the string-keyed
+// profile and zeroes the shards, preserving window totals across a Bind.
+func (c *Collector) foldShardsLocked() {
+	l := c.layout
+	if l == nil {
+		return
+	}
+	for _, s := range c.shards {
+		for i := range l.Actions {
+			if n := s.actions[i].Load(); n > 0 {
+				site := l.Actions[i]
+				m := c.p.ActionCounts[site.Table]
+				if m == nil {
+					m = map[string]uint64{}
+					c.p.ActionCounts[site.Table] = m
+				}
+				m[site.Action] += n
+			}
+		}
+		for i, cond := range l.Branches {
+			t, f := s.branches[2*i].Load(), s.branches[2*i+1].Load()
+			if t+f > 0 {
+				v := c.p.BranchCounts[cond]
+				v[0] += t
+				v[1] += f
+				c.p.BranchCounts[cond] = v
+			}
+		}
+		for i, cache := range l.Caches {
+			if h := s.caches[2*i].Load(); h > 0 {
+				c.p.CacheHits[cache] += h
+			}
+			if m := s.caches[2*i+1].Load(); m > 0 {
+				c.p.CacheMisses[cache] += m
+			}
+		}
+		s.mu.Lock()
+		for i, set := range s.keys {
+			if len(set) == 0 {
+				continue
+			}
+			dst := c.keys[l.Tables[i]]
+			if dst == nil {
+				dst = map[uint64]struct{}{}
+				c.keys[l.Tables[i]] = dst
+			}
+			for k := range set {
+				if len(dst) >= keyCardCap {
+					break
+				}
+				dst[k] = struct{}{}
+			}
+		}
+		for k := range s.flows {
+			if c.flows == nil {
+				c.flows = map[uint64]struct{}{}
+			}
+			if len(c.flows) >= keyCardCap {
+				break
+			}
+			c.flows[k] = struct{}{}
+		}
+		s.mu.Unlock()
+		s.zeroLocked()
+	}
 }
 
 // RecordAction counts one packet executing table/action.
@@ -344,38 +571,124 @@ func (c *Collector) ObserveUpdateRate(table string, opsPerSec float64) {
 }
 
 // Snapshot returns an immutable copy of the current profile with counter
-// values scaled by the sampling factor.
+// values scaled by the sampling factor. Live shard counters are merged in
+// non-destructively, so processing may continue concurrently.
 func (c *Collector) Snapshot() *Profile {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := c.p.Clone()
+	if l := c.layout; l != nil {
+		for _, s := range c.shards {
+			for i := range l.Actions {
+				if n := s.actions[i].Load(); n > 0 {
+					site := l.Actions[i]
+					m := out.ActionCounts[site.Table]
+					if m == nil {
+						m = map[string]uint64{}
+						out.ActionCounts[site.Table] = m
+					}
+					m[site.Action] += n
+				}
+			}
+			for i, cond := range l.Branches {
+				t, f := s.branches[2*i].Load(), s.branches[2*i+1].Load()
+				if t+f > 0 {
+					v := out.BranchCounts[cond]
+					v[0] += t
+					v[1] += f
+					out.BranchCounts[cond] = v
+				}
+			}
+			for i, cache := range l.Caches {
+				if h := s.caches[2*i].Load(); h > 0 {
+					out.CacheHits[cache] += h
+				}
+				if m := s.caches[2*i+1].Load(); m > 0 {
+					out.CacheMisses[cache] += m
+				}
+			}
+		}
+	}
 	for table, set := range c.keys {
 		out.KeyCardinality[table] = uint64(len(set))
 	}
 	out.FlowCardinality = uint64(len(c.flows))
-	if c.every > 1 {
+	if l := c.layout; l != nil {
+		// Distinct-key and flow counts must dedupe across shards and the
+		// legacy sets, so build unions (only for slots with shard data).
+		for ti, table := range l.Tables {
+			var u map[uint64]struct{}
+			for _, s := range c.shards {
+				s.mu.Lock()
+				set := s.keys[ti]
+				if len(set) > 0 {
+					if u == nil {
+						u = make(map[uint64]struct{}, len(set)+len(c.keys[table]))
+						for k := range c.keys[table] {
+							u[k] = struct{}{}
+						}
+					}
+					for k := range set {
+						if len(u) >= keyCardCap {
+							break
+						}
+						u[k] = struct{}{}
+					}
+				}
+				s.mu.Unlock()
+			}
+			if u != nil {
+				out.KeyCardinality[table] = uint64(len(u))
+			}
+		}
+		var fu map[uint64]struct{}
+		for _, s := range c.shards {
+			s.mu.Lock()
+			if len(s.flows) > 0 {
+				if fu == nil {
+					fu = make(map[uint64]struct{}, len(s.flows)+len(c.flows))
+					for k := range c.flows {
+						fu[k] = struct{}{}
+					}
+				}
+				for k := range s.flows {
+					if len(fu) >= keyCardCap {
+						break
+					}
+					fu[k] = struct{}{}
+				}
+			}
+			s.mu.Unlock()
+		}
+		if fu != nil {
+			out.FlowCardinality = uint64(len(fu))
+		}
+	}
+	if every := c.every.Load(); every > 1 {
 		for _, m := range out.ActionCounts {
 			for a := range m {
-				m[a] *= c.every
+				m[a] *= every
 			}
 		}
 		for cond, v := range out.BranchCounts {
-			v[0] *= c.every
-			v[1] *= c.every
+			v[0] *= every
+			v[1] *= every
 			out.BranchCounts[cond] = v
 		}
 		for k := range out.CacheHits {
-			out.CacheHits[k] *= c.every
+			out.CacheHits[k] *= every
 		}
 		for k := range out.CacheMisses {
-			out.CacheMisses[k] *= c.every
+			out.CacheMisses[k] *= every
 		}
 	}
 	return out
 }
 
 // Reset clears all counters (used at the start of each profiling window)
-// while preserving the sampling configuration.
+// while preserving the sampling configuration and the bound shard set:
+// shard counter banks are zeroed in place, so execution plans holding
+// shard pointers keep recording into the new window.
 func (c *Collector) Reset() {
 	c.mu.Lock()
 	rate := c.p.SampleRate
@@ -383,6 +696,9 @@ func (c *Collector) Reset() {
 	c.p.SampleRate = rate
 	c.keys = map[string]map[uint64]struct{}{}
 	c.flows = nil
+	for _, s := range c.shards {
+		s.zeroLocked()
+	}
 	c.mu.Unlock()
 }
 

@@ -1,0 +1,135 @@
+package profile
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func testLayout() *Layout {
+	return &Layout{
+		Actions: []ActionSite{
+			{Table: "acl", Action: "allow"},
+			{Table: "acl", Action: "drop_packet"},
+			{Table: "fwd", Action: "set_port"},
+		},
+		Branches: []string{"is_tcp"},
+		Caches:   []string{"fwd_cache"},
+		Tables:   []string{"acl", "fwd"},
+	}
+}
+
+// The sharded fast path and the legacy string-keyed Record* API are two
+// write paths into the same profile: driving them with identical events
+// must yield identical snapshots.
+func TestShardsMatchLegacyRecordAPI(t *testing.T) {
+	sharded := NewCollector()
+	legacy := NewCollector()
+	shards := sharded.Bind(testLayout(), 4)
+
+	for i := 0; i < 1000; i++ {
+		s := shards[i%len(shards)]
+		if !s.Sampled() {
+			continue
+		}
+		s.IncAction(i % 3)
+		s.IncBranch(0, i%2 == 0)
+		s.IncCache(0, i%5 != 0)
+		s.AddKey(i%2, uint64(i%37))
+		s.AddFlow(uint64(i % 53))
+
+		switch i % 3 {
+		case 0:
+			legacy.RecordAction("acl", "allow")
+		case 1:
+			legacy.RecordAction("acl", "drop_packet")
+		case 2:
+			legacy.RecordAction("fwd", "set_port")
+		}
+		legacy.RecordBranch("is_tcp", i%2 == 0)
+		legacy.RecordCache("fwd_cache", i%5 != 0)
+		if i%2 == 0 {
+			legacy.RecordKey("acl", uint64(i%37))
+		} else {
+			legacy.RecordKey("fwd", uint64(i%37))
+		}
+		legacy.RecordFlow(uint64(i % 53))
+	}
+
+	if got, want := sharded.Snapshot(), legacy.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Errorf("sharded snapshot differs from legacy:\nsharded: %+v\nlegacy:  %+v", got, want)
+	}
+}
+
+// Snapshot must not consume shard state: two consecutive snapshots with no
+// traffic in between are identical, and counts keep accumulating after.
+func TestShardSnapshotNonDestructive(t *testing.T) {
+	c := NewCollector()
+	shards := c.Bind(testLayout(), 2)
+	for i := 0; i < 100; i++ {
+		shards[i%2].IncAction(0)
+	}
+	a := c.Snapshot()
+	b := c.Snapshot()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("back-to-back snapshots differ")
+	}
+	shards[0].IncAction(0)
+	if got := c.Snapshot().ActionCounts["acl"]["allow"]; got != 101 {
+		t.Errorf("post-snapshot increment lost: %d != 101", got)
+	}
+}
+
+// Rebinding (program hot-swap) must fold outstanding shard counts into
+// the carry profile rather than dropping them.
+func TestBindFoldsOldShards(t *testing.T) {
+	c := NewCollector()
+	shards := c.Bind(testLayout(), 2)
+	for i := 0; i < 40; i++ {
+		shards[i%2].IncAction(1)
+	}
+	shards2 := c.Bind(testLayout(), 8)
+	for i := 0; i < 10; i++ {
+		shards2[i%8].IncAction(1)
+	}
+	if got := c.Snapshot().ActionCounts["acl"]["drop_packet"]; got != 50 {
+		t.Errorf("rebind lost counts: %d != 50", got)
+	}
+}
+
+// Concurrent increments across goroutines sharing shards must be exact —
+// this is the lock-free claim, run under -race by make verify.
+func TestShardConcurrentIncrementsExact(t *testing.T) {
+	c := NewCollector()
+	shards := c.Bind(testLayout(), 4)
+	const goroutines, per = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := shards[g%len(shards)]
+			for i := 0; i < per; i++ {
+				s.IncAction(2)
+				s.IncBranch(0, i%2 == 0)
+				s.IncCache(0, i%3 == 0)
+				s.AddFlow(uint64(i % 97))
+			}
+		}(g)
+	}
+	wg.Wait()
+	p := c.Snapshot()
+	if got := p.ActionCounts["fwd"]["set_port"]; got != goroutines*per {
+		t.Errorf("action count %d != %d", got, goroutines*per)
+	}
+	br := p.BranchCounts["is_tcp"]
+	if br[0]+br[1] != goroutines*per {
+		t.Errorf("branch counts %v sum != %d", br, goroutines*per)
+	}
+	if p.CacheHits["fwd_cache"]+p.CacheMisses["fwd_cache"] != goroutines*per {
+		t.Error("cache counts lost increments")
+	}
+	if p.FlowCardinality != 97 {
+		t.Errorf("flow cardinality %d != 97", p.FlowCardinality)
+	}
+}

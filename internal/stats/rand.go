@@ -80,6 +80,27 @@ func (r *RNG) Fork() *RNG {
 	return NewRNG(r.Uint64())
 }
 
+// Mix64 is the splitmix64 finalizer as a pure function: a stateless,
+// high-quality 64-bit mix usable to derive independent keys from
+// (seed, id) pairs without allocating an RNG.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NormAt returns a standard normal variate determined purely by key: the
+// same key always yields the same draw, and draws for different keys are
+// independent. Unlike RNG.NormFloat64 this has no sequential state, so
+// concurrent callers produce identical results regardless of execution
+// order — the property the emulator's measurement noise relies on to keep
+// serial and parallel runs bit-identical.
+func NormAt(key uint64) float64 {
+	s := RNG{state: key}
+	return s.NormFloat64()
+}
+
 // Zipf samples ranks in [0, n) with probability proportional to
 // 1/(rank+1)^s. It precomputes the CDF so Sample is O(log n). A skew of 0
 // degenerates to uniform. The traffic generator uses Zipf ranks to model

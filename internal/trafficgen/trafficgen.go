@@ -120,6 +120,30 @@ func (g *Generator) Next() *packet.Packet {
 	return g.build(g.flows[idx])
 }
 
+// Split derives n independent child generators over the same flow
+// population. A Generator is single-threaded (its RNG and sampling tables
+// mutate on every Next), so concurrent producers each take one child:
+// children share an immutable snapshot of the flows but own forked RNG
+// state and lazily rebuilt sampling structures, so they never touch the
+// parent's (or each other's) mutable state. Flows added to the parent
+// after the split are not seen by the children.
+func (g *Generator) Split(n int) []*Generator {
+	if n < 1 {
+		n = 1
+	}
+	flows := append([]Flow(nil), g.flows...)
+	out := make([]*Generator, n)
+	for i := range out {
+		out[i] = &Generator{
+			rng:         g.rng.Fork(),
+			flows:       flows,
+			skew:        g.skew,
+			packetBytes: g.packetBytes,
+		}
+	}
+	return out
+}
+
 // Batch samples n packets.
 func (g *Generator) Batch(n int) []*packet.Packet {
 	out := make([]*packet.Packet, n)

@@ -150,3 +150,57 @@ func TestEmptyGeneratorStillProduces(t *testing.T) {
 		t.Error("empty generator should emit a default packet with configured size")
 	}
 }
+
+func TestSplitChildrenAreIndependent(t *testing.T) {
+	g := New(42, 0)
+	g.AddFlows(UniformFlows(7, 200)...)
+	g.SetSkew(0.9)
+
+	// Deterministic: the same parent split the same way yields the same
+	// child streams.
+	g2 := New(42, 0)
+	g2.AddFlows(UniformFlows(7, 200)...)
+	g2.SetSkew(0.9)
+	a, b := g.Split(3), g2.Split(3)
+	for i := range a {
+		pa, pb := a[i].Batch(20), b[i].Batch(20)
+		for j := range pa {
+			if pa[j].Flow() != pb[j].Flow() {
+				t.Fatalf("child %d diverged at packet %d", i, j)
+			}
+		}
+	}
+
+	// Children don't see flows added to the parent after the split.
+	kids := g.Split(2)
+	g.AddFlows(Flow{Src: 1, Dst: 2, SPort: 3, DPort: 4})
+	if kids[0].NumFlows() != 200 {
+		t.Fatalf("child sees %d flows, want snapshot of 200", kids[0].NumFlows())
+	}
+}
+
+func TestSplitChildrenRaceClean(t *testing.T) {
+	g := New(7, 0)
+	g.AddFlows(DropTargetedFlows(2, 500, "tcp.dport", 23, 0.5)...)
+	g.SetSkew(1.1)
+	kids := g.Split(4)
+	done := make(chan struct{})
+	for _, k := range kids {
+		go func(k *Generator) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				if k.Next() == nil {
+					t.Error("nil packet")
+					return
+				}
+			}
+		}(k)
+	}
+	// The parent keeps drawing concurrently with its children.
+	for i := 0; i < 200; i++ {
+		g.Next()
+	}
+	for range kids {
+		<-done
+	}
+}
