@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench
+.PHONY: build test vet race fmtcheck ci verify conformance traces bench
 
 build:
 	$(GO) build ./...
@@ -14,11 +14,37 @@ test:
 race:
 	$(GO) test -race ./...
 
-# verify is the pre-merge gate: compile everything, vet, and run the full
+# fmtcheck fails (listing the offenders) when any file is not gofmt-clean.
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# ci is the full continuous-integration chain: formatting, static checks,
+# compile, and the complete suite under the race detector.
+ci: fmtcheck
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+# conformance runs the target-backend conformance suite (local emulator,
+# loopback remote, record/replay) plus the golden-trace round trips.
+conformance:
+	$(GO) test -race -run 'TestConformance|TestRuntimeRollbackOnVerifyFailure' ./internal/target/
+	$(GO) test -race -run 'TestReplayRoundTrip|TestCoreDoesNotImportNicsim' ./internal/core/
+
+# verify is the pre-merge gate: compile everything, vet, run the full
 # suite under the race detector (the runtime loop, control plane, and
-# fault-injection paths are concurrent).
+# fault-injection paths are concurrent), then the backend conformance
+# suite explicitly.
 verify:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
+	$(MAKE) conformance
+
+# traces regenerates the golden replay traces consumed by the core replay
+# round-trip tests and `pipeleon -trace`.
+traces:
+	$(GO) run ./cmd/tracegen -out testdata/traces/bluefield2.json -target bluefield2 -seed 7
+	$(GO) run ./cmd/tracegen -out testdata/traces/agiliocx.json -target agiliocx -seed 21
 
 # bench runs the hot-path micro-benchmarks (emulator fast path, parallel
 # measurement, search) plus the Figure 12 profiling-overhead benches, and

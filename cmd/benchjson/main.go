@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -52,12 +53,40 @@ func main() {
 	out := flag.String("out", "", "output JSON file (default: stdout only)")
 	flag.Parse()
 
+	doc, err := parse(os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading input: %v\n", err)
+		os.Exit(1)
+	}
+
+	data, err := doc.MarshalIndent()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+// parse reads `go test -bench` text from r, echoing every line to echo
+// (nil disables the echo) and collecting benchmark results and platform
+// headers into a Doc.
+func parse(r io.Reader, echo io.Writer) (Doc, error) {
 	doc := Doc{Benchmarks: []Bench{}}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
-		fmt.Println(line)
+		if echo != nil {
+			fmt.Fprintln(echo, line)
+		}
 		switch {
 		case strings.HasPrefix(line, "goos:"):
 			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
@@ -70,26 +99,17 @@ func main() {
 			doc.Benchmarks = append(doc.Benchmarks, b)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: reading input: %v\n", err)
-		os.Exit(1)
-	}
+	return doc, sc.Err()
+}
 
-	data, err := json.MarshalIndent(&doc, "", "  ")
+// MarshalIndent renders the document as the archived JSON form, newline
+// terminated.
+func (d *Doc) MarshalIndent() ([]byte, error) {
+	data, err := json.MarshalIndent(d, "", "  ")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		return nil, err
 	}
-	data = append(data, '\n')
-	if *out == "" {
-		os.Stdout.Write(data)
-		return
-	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+	return append(data, '\n'), nil
 }
 
 // parseLine extracts one benchmark result; ok is false for non-result

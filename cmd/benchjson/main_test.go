@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestParseGolden pins the bench-output parser end to end: the sample
+// `go test -bench` transcript in testdata must convert to exactly the
+// archived JSON document. Regenerate with `go test ./cmd/benchjson -update`
+// after intentional format changes.
+func TestParseGolden(t *testing.T) {
+	in, err := os.Open(filepath.Join("testdata", "bench.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+
+	var echo bytes.Buffer
+	doc, err := parse(in, &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := doc.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	goldenPath := filepath.Join("testdata", "bench.golden.json")
+	if *update {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("parsed document diverges from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// The input must be echoed verbatim (benchjson sits at the end of a
+	// pipeline without hiding the run).
+	raw, err := os.ReadFile(filepath.Join("testdata", "bench.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(echo.Bytes(), raw) {
+		t.Error("input not echoed verbatim")
+	}
+}
+
+func TestParseLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	pipeleon/internal/nicsim	4.221s",
+		"goos: linux",
+		"BenchmarkBroken-8 notanumber 12 ns/op",
+		"BenchmarkNoMetrics-8 100",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted %q", line)
+		}
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkEmulatorProcess-8":           "BenchmarkEmulatorProcess",
+		"BenchmarkMeasureParallel/workers-8":   "BenchmarkMeasureParallel/workers",
+		"BenchmarkPlain":                       "BenchmarkPlain",
+		"BenchmarkMeasureParallel/workers-8-8": "BenchmarkMeasureParallel/workers-8",
+	}
+	for in, want := range cases {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

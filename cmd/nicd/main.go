@@ -35,14 +35,16 @@ import (
 	"pipeleon/internal/p4c"
 	"pipeleon/internal/p4ir"
 	"pipeleon/internal/profile"
+	"pipeleon/internal/target"
 	"pipeleon/internal/trafficgen"
 )
 
 func main() {
 	var (
 		progPath = flag.String("program", "", "P4 program: JSON or .p4 source (required)")
-		target   = flag.String("target", "bluefield2", "bluefield2|agiliocx|emulated")
+		model    = flag.String("target", "bluefield2", "bluefield2|agiliocx|emulated")
 		listen   = flag.String("listen", "127.0.0.1:9559", "control-plane listen address")
+		devOnly  = flag.Bool("device-only", false, "serve only the device API (no on-box optimizer); a remote Pipeleon runtime drives this nicd over the control plane")
 		interval = flag.Duration("interval", 5*time.Second, "optimization window")
 		flows    = flag.Int("traffic", 0, "self-generate a workload with this many flows (0 = none)")
 		skew     = flag.Float64("skew", 0.9, "traffic Zipf skew")
@@ -84,7 +86,7 @@ func main() {
 		}
 	}
 	var pm costmodel.Params
-	switch *target {
+	switch *model {
 	case "bluefield2":
 		pm = costmodel.BlueField2()
 	case "agiliocx":
@@ -92,7 +94,7 @@ func main() {
 	case "emulated":
 		pm = costmodel.EmulatedNIC()
 	default:
-		fatal("unknown target %q", *target)
+		fatal("unknown target %q", *model)
 	}
 
 	faults, err := faultinject.ParseSpec(*faultSpec, *faultSeed)
@@ -108,11 +110,16 @@ func main() {
 	if err != nil {
 		fatal("starting emulator: %v", err)
 	}
-	rt, err := core.NewRuntime(prog, nic, col, pm, opt.DefaultConfig())
-	if err != nil {
-		fatal("starting runtime: %v", err)
+	dev := target.NewLocal(nic, col)
+
+	var rt *core.Runtime
+	if !*devOnly {
+		rt, err = core.NewRuntime(prog, dev, opt.DefaultConfig())
+		if err != nil {
+			fatal("starting runtime: %v", err)
+		}
+		rt.SetFaultInjector(faults)
 	}
-	rt.SetFaultInjector(faults)
 
 	var gen *trafficgen.Generator
 	if *flows > 0 {
@@ -120,7 +127,7 @@ func main() {
 		gen.AddFlows(trafficgen.UniformFlows(2, *flows)...)
 		gen.SetSkew(*skew)
 	}
-	if gen != nil && *verifyPkts > 0 {
+	if rt != nil && gen != nil && *verifyPkts > 0 {
 		// The guard samples concurrently with the traffic goroutine, so it
 		// takes its own Split child over the same flow population.
 		vgen := gen.Split(1)[0]
@@ -134,16 +141,24 @@ func main() {
 		rt.SetDeployGuard(guard)
 	}
 
-	var srvOpts []controlplane.ServerOption
+	srvOpts := []controlplane.ServerOption{controlplane.WithDevice(dev)}
 	if faults != nil {
 		srvOpts = append(srvOpts, controlplane.WithFaultInjector(faults))
 	}
-	srv, err := controlplane.NewServer(*listen, rt, col, srvOpts...)
+	var backend controlplane.Backend
+	if rt != nil {
+		backend = rt
+	}
+	srv, err := controlplane.NewServer(*listen, backend, col, srvOpts...)
 	if err != nil {
 		fatal("starting control plane: %v", err)
 	}
 	defer srv.Close()
-	fmt.Printf("nicd: %s on %s model, control plane at %s\n", prog.Name, pm.Name, srv.Addr())
+	mode := "optimizer"
+	if *devOnly {
+		mode = "device-only"
+	}
+	fmt.Printf("nicd: %s on %s model (%s), control plane at %s\n", prog.Name, pm.Name, mode, srv.Addr())
 
 	stop := make(chan struct{})
 	done := make(chan struct{})
@@ -163,6 +178,9 @@ func main() {
 						fmt.Printf("nicd: window %.1f Gbps, %.0f ns mean, drop %.1f%%\n",
 							m.ThroughputGbps, m.MeanLatencyNs, m.DropRate*100)
 					}
+				}
+				if rt == nil {
+					continue // device-only: the remote runtime drives optimization
 				}
 				rep, err := rt.OptimizeOnce(*interval)
 				if err != nil {
@@ -200,7 +218,7 @@ func main() {
 	}
 	close(stop)
 	<-done
-	if *profOut != "" {
+	if *profOut != "" && rt != nil {
 		prof := rt.TranslatedCounters()
 		data, err := json.MarshalIndent(prof, "", "  ")
 		if err == nil {

@@ -4,6 +4,7 @@ import (
 	"pipeleon/internal/core"
 	"pipeleon/internal/nicsim"
 	"pipeleon/internal/packet"
+	"pipeleon/internal/target"
 	"pipeleon/internal/trafficgen"
 )
 
@@ -55,6 +56,11 @@ type RoundReport = core.RoundReport
 
 // NewRuntime deploys prog to the emulator and returns the control loop.
 // The collector must be the same one wired into the emulator's config.
-func NewRuntime(prog *Program, emu *Emulator, col *Collector, target Target, o Options) (*Runtime, error) {
-	return core.NewRuntime(prog, emu, col, target, o)
+// Internally the emulator is wrapped in a local deployment target
+// (internal/target); the explicitly passed cost model overrides the
+// emulator's own parameters so existing callers keep their semantics.
+func NewRuntime(prog *Program, emu *Emulator, col *Collector, pm Target, o Options) (*Runtime, error) {
+	tgt := target.NewLocal(emu, col)
+	tgt.SetCapabilities(target.CapabilitiesFor(pm, true))
+	return core.NewRuntime(prog, tgt, o)
 }

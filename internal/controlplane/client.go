@@ -11,8 +11,10 @@ import (
 	"time"
 
 	"pipeleon/internal/p4ir"
+	"pipeleon/internal/packet"
 	"pipeleon/internal/profile"
 	"pipeleon/internal/stats"
+	"pipeleon/internal/target"
 )
 
 // RetryPolicy controls how the client handles connection-level failures:
@@ -251,4 +253,88 @@ func (c *Client) Counters() (*profile.Profile, error) {
 		return nil, err
 	}
 	return p, nil
+}
+
+// Device operations — the client half of the target/remote backend.
+// They require the far end to be a device server (WithDevice).
+
+// Deploy stages prog on the remote device, checkpointing the running
+// program for Rollback.
+func (c *Client) Deploy(prog *p4ir.Program) error {
+	data, err := prog.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	_, err = c.call(&Request{Op: OpDeploy, Program: data})
+	return err
+}
+
+// Commit finalizes the staged remote deploy.
+func (c *Client) Commit() error {
+	_, err := c.call(&Request{Op: OpCommit})
+	return err
+}
+
+// Rollback restores the remotely checkpointed program.
+func (c *Client) Rollback() error {
+	_, err := c.call(&Request{Op: OpRollback})
+	return err
+}
+
+// Measure ships the batch to the device and returns its aggregate
+// statistics. Packets cross the wire in serialized form (plus wire length
+// and metadata), so header-level state round-trips faithfully.
+func (c *Client) Measure(pkts []*packet.Packet) (target.Measurement, error) {
+	wire := make([]WirePacket, len(pkts))
+	for i, p := range pkts {
+		wire[i] = FromPacket(p)
+	}
+	resp, err := c.call(&Request{Op: OpMeasure, Packets: wire})
+	if err != nil {
+		return target.Measurement{}, err
+	}
+	var m target.Measurement
+	if err := json.Unmarshal(resp.Data, &m); err != nil {
+		return target.Measurement{}, err
+	}
+	return m, nil
+}
+
+// ProfileWindow fetches the device's raw profile window; reset closes it.
+func (c *Client) ProfileWindow(reset bool) (*profile.Profile, error) {
+	resp, err := c.call(&Request{Op: OpProfile, Reset: reset})
+	if err != nil {
+		return nil, err
+	}
+	p := profile.New()
+	if err := json.Unmarshal(resp.Data, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// CacheStats fetches the device's per-cache counters.
+func (c *Client) CacheStats() ([]target.CacheStats, error) {
+	resp, err := c.call(&Request{Op: OpCacheStats})
+	if err != nil {
+		return nil, err
+	}
+	var cs []target.CacheStats
+	if err := json.Unmarshal(resp.Data, &cs); err != nil {
+		return nil, err
+	}
+	return cs, nil
+}
+
+// Capabilities fetches the device's capability description.
+func (c *Client) Capabilities() (target.Capabilities, error) {
+	resp, err := c.call(&Request{Op: OpCapabilities})
+	if err != nil {
+		return target.Capabilities{}, err
+	}
+	var cap target.Capabilities
+	if err := json.Unmarshal(resp.Data, &cap); err != nil {
+		return target.Capabilities{}, err
+	}
+	return cap, nil
 }

@@ -17,6 +17,7 @@ import (
 	"io"
 
 	"pipeleon/internal/p4ir"
+	"pipeleon/internal/packet"
 )
 
 // Op identifies a request type.
@@ -31,6 +32,18 @@ const (
 	OpProgram  Op = "program"
 	OpStats    Op = "stats"
 	OpPing     Op = "ping"
+
+	// Device operations (served when the server is built WithDevice):
+	// transactional program deployment, batch measurement, raw profile
+	// windows, cache counters, and the device capability description.
+	// They let an off-box optimizer drive a nicd as a target.Target.
+	OpDeploy       Op = "deploy"
+	OpCommit       Op = "commit"
+	OpRollback     Op = "rollback"
+	OpMeasure      Op = "measure"
+	OpProfile      Op = "profile"
+	OpCacheStats   Op = "cachestats"
+	OpCapabilities Op = "capabilities"
 )
 
 // Request is one control-plane call.
@@ -50,6 +63,47 @@ type Request struct {
 	// Action/Args are used by modify.
 	Action string   `json:"action,omitempty"`
 	Args   []string `json:"args,omitempty"`
+	// Program carries the staged program JSON for deploy.
+	Program json.RawMessage `json:"program,omitempty"`
+	// Packets is the batch for measure.
+	Packets []WirePacket `json:"packets,omitempty"`
+	// Reset makes profile close the current counter window.
+	Reset bool `json:"reset,omitempty"`
+}
+
+// WirePacket is a packet on the wire: its serialized frame plus the
+// per-packet state serialization cannot carry (the original wire length
+// used for throughput math, and metadata fields).
+type WirePacket struct {
+	Data    []byte            `json:"data"`
+	WireLen int               `json:"wire_len,omitempty"`
+	Meta    map[string]uint64 `json:"meta,omitempty"`
+}
+
+// FromPacket converts a packet to wire form.
+func FromPacket(p *packet.Packet) WirePacket {
+	w := WirePacket{Data: p.Serialize(), WireLen: p.WireLen}
+	if m := p.MetaMap(); len(m) > 0 {
+		w.Meta = m
+	}
+	return w
+}
+
+// ToPacket reconstructs the packet.
+func (w WirePacket) ToPacket() (*packet.Packet, error) {
+	p, err := packet.Parse(w.Data)
+	if err != nil {
+		return nil, err
+	}
+	if w.WireLen > 0 {
+		p.WireLen = w.WireLen
+	}
+	for name, v := range w.Meta {
+		if err := p.Set(name, v); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
 }
 
 // WireEntry is the wire form of a table entry.
@@ -71,10 +125,14 @@ func FromEntry(e p4ir.Entry) *WireEntry {
 }
 
 // mutating reports whether an op changes server state (and therefore
-// needs idempotency protection across retries).
+// needs idempotency protection across retries). Measure and Profile count:
+// measuring advances cache and counter state, and a profile read with
+// Reset closes the window — replaying either twice after an ambiguous
+// failure would skew the very statistics the optimizer plans from.
 func mutating(op Op) bool {
 	switch op {
-	case OpInsert, OpDelete, OpModify:
+	case OpInsert, OpDelete, OpModify,
+		OpDeploy, OpCommit, OpRollback, OpMeasure, OpProfile:
 		return true
 	}
 	return false

@@ -11,10 +11,14 @@ import (
 
 	"pipeleon/internal/faultinject"
 	"pipeleon/internal/p4ir"
+	"pipeleon/internal/packet"
 	"pipeleon/internal/profile"
+	"pipeleon/internal/target"
 )
 
 // Backend is the surface the server drives — satisfied by *core.Runtime.
+// It may be nil when the server fronts a raw device (WithDevice), in
+// which case entry and program ops route to the device instead.
 type Backend interface {
 	InsertEntry(table string, e p4ir.Entry) error
 	DeleteEntry(table string, match []p4ir.MatchValue) error
@@ -72,10 +76,20 @@ func WithFaultInjector(inj faultinject.Injector) ServerOption {
 	return func(s *Server) { s.faults = inj }
 }
 
+// WithDevice exposes dev over the device operations (deploy / commit /
+// rollback / measure / profile / cachestats / capabilities), making the
+// server the far end of a target/remote backend. The backend may then be
+// nil — a pure device server with no on-box optimizer — and entry and
+// program ops fall through to the device.
+func WithDevice(dev target.Target) ServerOption {
+	return func(s *Server) { s.device = dev }
+}
+
 // Server serves the control protocol over TCP.
 type Server struct {
 	backend   Backend
 	collector *profile.Collector // optional, for OpCounters
+	device    target.Target      // optional, for device ops
 	ln        net.Listener
 	idem      *idemCache
 	faults    faultinject.Injector
@@ -221,19 +235,110 @@ func (s *Server) apply(req *Request) *Response {
 		if req.Entry == nil {
 			return fail(errors.New("insert requires an entry"))
 		}
-		if err := s.backend.InsertEntry(req.Table, req.Entry.ToEntry()); err != nil {
+		if err := s.insertEntry(req.Table, req.Entry.ToEntry()); err != nil {
 			return fail(err)
 		}
 	case OpDelete:
-		if err := s.backend.DeleteEntry(req.Table, req.Match); err != nil {
+		if err := s.deleteEntry(req.Table, req.Match); err != nil {
 			return fail(err)
 		}
 	case OpModify:
-		if err := s.backend.ModifyEntry(req.Table, req.Match, req.Action, req.Args); err != nil {
+		if err := s.modifyEntry(req.Table, req.Match, req.Action, req.Args); err != nil {
 			return fail(err)
 		}
 	case OpProgram:
-		data, err := s.backend.Current().MarshalJSON()
+		prog, err := s.currentProgram()
+		if err != nil {
+			return fail(err)
+		}
+		data, err := prog.MarshalJSON()
+		if err != nil {
+			return fail(err)
+		}
+		resp.Data = data
+	case OpDeploy:
+		if s.device == nil {
+			return fail(errNoDevice)
+		}
+		prog := &p4ir.Program{}
+		if err := prog.UnmarshalJSON(req.Program); err != nil {
+			return fail(err)
+		}
+		if err := s.device.Deploy(prog); err != nil {
+			return fail(err)
+		}
+	case OpCommit:
+		if s.device == nil {
+			return fail(errNoDevice)
+		}
+		if err := s.device.Commit(); err != nil {
+			return fail(err)
+		}
+	case OpRollback:
+		if s.device == nil {
+			return fail(errNoDevice)
+		}
+		if err := s.device.Rollback(); err != nil {
+			return fail(err)
+		}
+	case OpMeasure:
+		if s.device == nil {
+			return fail(errNoDevice)
+		}
+		pkts := make([]*packet.Packet, 0, len(req.Packets))
+		for _, w := range req.Packets {
+			p, err := w.ToPacket()
+			if err != nil {
+				return fail(err)
+			}
+			pkts = append(pkts, p)
+		}
+		m, err := s.device.Measure(pkts)
+		if err != nil {
+			return fail(err)
+		}
+		data, err := json.Marshal(m)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Data = data
+	case OpProfile:
+		if s.device == nil {
+			return fail(errNoDevice)
+		}
+		var snap *profile.Profile
+		if d := s.faultAt(faultinject.PointCounters); d.Zero {
+			snap = profile.New() // stale/zeroed window
+		} else {
+			var err error
+			snap, err = s.device.Profile(req.Reset)
+			if err != nil {
+				return fail(err)
+			}
+		}
+		data, err := json.Marshal(snap)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Data = data
+	case OpCacheStats:
+		if s.device == nil {
+			return fail(errNoDevice)
+		}
+		cs, err := s.device.CacheStats()
+		if err != nil {
+			return fail(err)
+		}
+		data, err := json.Marshal(cs)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Data = data
+	case OpCapabilities:
+		if s.device == nil {
+			return fail(errNoDevice)
+		}
+		data, err := json.Marshal(s.device.Capabilities())
 		if err != nil {
 			return fail(err)
 		}
@@ -249,6 +354,12 @@ func (s *Server) apply(req *Request) *Response {
 			snap = tr.TranslatedCounters()
 		} else if s.collector != nil {
 			snap = s.collector.Snapshot()
+		} else if s.device != nil {
+			var err error
+			snap, err = s.device.Profile(false)
+			if err != nil {
+				return fail(err)
+			}
 		} else {
 			return fail(errors.New("counters unavailable"))
 		}
@@ -268,3 +379,51 @@ func (s *Server) apply(req *Request) *Response {
 	}
 	return resp
 }
+
+var errNoDevice = errors.New("device operations unavailable (server has no device)")
+
+// Entry and program ops prefer the runtime backend (which maps them onto
+// the original program, §2.3); a device-only server applies them to the
+// deployed program directly.
+
+func (s *Server) insertEntry(table string, e p4ir.Entry) error {
+	if s.backend != nil {
+		return s.backend.InsertEntry(table, e)
+	}
+	if s.device != nil {
+		return s.device.InsertEntry(table, e)
+	}
+	return errNoBackend
+}
+
+func (s *Server) deleteEntry(table string, match []p4ir.MatchValue) error {
+	if s.backend != nil {
+		return s.backend.DeleteEntry(table, match)
+	}
+	if s.device != nil {
+		return s.device.DeleteEntry(table, match)
+	}
+	return errNoBackend
+}
+
+func (s *Server) modifyEntry(table string, match []p4ir.MatchValue, action string, args []string) error {
+	if s.backend != nil {
+		return s.backend.ModifyEntry(table, match, action, args)
+	}
+	if s.device != nil {
+		return s.device.ModifyEntry(table, match, action, args)
+	}
+	return errNoBackend
+}
+
+func (s *Server) currentProgram() (*p4ir.Program, error) {
+	if s.backend != nil {
+		return s.backend.Current(), nil
+	}
+	if s.device != nil {
+		return s.device.Program(), nil
+	}
+	return nil, errNoBackend
+}
+
+var errNoBackend = errors.New("no backend or device configured")

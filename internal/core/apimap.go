@@ -36,7 +36,7 @@ func (r *Runtime) InsertEntry(table string, e p4ir.Entry) error {
 		t.Entries = append(t.Entries, e.Clone())
 		return nil
 	}, func() error {
-		return r.nic.InsertEntry(table, e)
+		return r.tgt.InsertEntry(table, e)
 	})
 }
 
@@ -51,7 +51,7 @@ func (r *Runtime) DeleteEntry(table string, match []p4ir.MatchValue) error {
 		}
 		return fmt.Errorf("core: no entry matching %v in %q", match, table)
 	}, func() error {
-		return r.nic.DeleteEntry(table, match)
+		return r.tgt.DeleteEntry(table, match)
 	})
 }
 
@@ -70,7 +70,7 @@ func (r *Runtime) ModifyEntry(table string, match []p4ir.MatchValue, action stri
 		}
 		return fmt.Errorf("core: no entry matching %v in %q", match, table)
 	}, func() error {
-		return r.nic.ModifyEntry(table, match, action, args)
+		return r.tgt.ModifyEntry(table, match, action, args)
 	})
 }
 
@@ -151,13 +151,15 @@ func splitCovers(s string) []string {
 }
 
 // redeployLocked re-applies the active plan to the (updated) original
-// program and swaps the result onto the device.
+// program and deploys the result to the target. Entry propagation is a
+// definitive change, not a speculative optimization, so the deploy is
+// committed immediately with no verification window.
 func (r *Runtime) redeployLocked() error {
 	plan := r.planLocked()
 	if len(plan) == 0 {
 		r.current = r.orig.Clone()
 		r.cmap = opt.NewCounterMap()
-		return r.nic.Swap(r.current)
+		return r.deployCommitLocked()
 	}
 	rw, err := opt.Apply(r.orig, plan, r.cfg)
 	if err != nil {
@@ -167,9 +169,16 @@ func (r *Runtime) redeployLocked() error {
 		r.current = r.orig.Clone()
 		r.cmap = opt.NewCounterMap()
 		r.activePlan = nil
-		return r.nic.Swap(r.current)
+		return r.deployCommitLocked()
 	}
 	r.current = rw.Program
 	r.cmap = rw.Map
-	return r.nic.Swap(r.current)
+	return r.deployCommitLocked()
+}
+
+func (r *Runtime) deployCommitLocked() error {
+	if err := r.tgt.Deploy(r.current); err != nil {
+		return err
+	}
+	return r.tgt.Commit()
 }

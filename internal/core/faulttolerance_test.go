@@ -9,6 +9,7 @@ import (
 	"pipeleon/internal/nicsim"
 	"pipeleon/internal/opt"
 	"pipeleon/internal/profile"
+	"pipeleon/internal/target"
 	"pipeleon/internal/trafficgen"
 )
 
@@ -35,7 +36,7 @@ func newFaultRig(t *testing.T, inj faultinject.Injector) (*Runtime, *nicsim.NIC,
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := NewRuntime(prog, nic, col, costmodel.BlueField2(), cfg)
+	rt, err := NewRuntime(prog, target.NewLocal(nic, col), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

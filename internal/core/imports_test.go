@@ -1,0 +1,42 @@
+package core
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestCoreDoesNotImportNicsim pins the target-abstraction boundary: the
+// runtime loop must reach the device only through internal/target, never
+// the emulator directly. Test files are exempt — they construct emulators
+// to build local targets.
+func TestCoreDoesNotImportNicsim(t *testing.T) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(".", name), nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", name, err)
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "pipeleon/internal/nicsim" {
+				t.Errorf("%s imports %s: core must use internal/target, not the emulator", name, path)
+			}
+		}
+	}
+}

@@ -22,23 +22,24 @@ import (
 
 	"pipeleon/internal/costmodel"
 	"pipeleon/internal/faultinject"
-	"pipeleon/internal/nicsim"
 	"pipeleon/internal/opt"
 	"pipeleon/internal/p4ir"
 	"pipeleon/internal/packet"
 	"pipeleon/internal/pipelet"
 	"pipeleon/internal/profile"
+	"pipeleon/internal/target"
 )
 
-// Runtime is one Pipeleon control loop bound to a NIC.
+// Runtime is one Pipeleon control loop bound to a deployment target. The
+// target may be the in-process emulator, a remote nicd, or a recorded
+// trace — the loop is backend-agnostic (see internal/target).
 type Runtime struct {
 	mu sync.Mutex
 
-	orig      *p4ir.Program
-	nic       *nicsim.NIC
-	collector *profile.Collector
-	pm        costmodel.Params
-	cfg       opt.Config
+	orig *p4ir.Program
+	tgt  target.Target
+	pm   costmodel.Params
+	cfg  opt.Config
 
 	current    *p4ir.Program
 	cmap       *opt.CounterMap
@@ -109,10 +110,9 @@ type RoundReport struct {
 }
 
 // NewRuntime builds a runtime for the given original program, deploying it
-// unmodified to the NIC. The collector must be the one the NIC was
-// configured with (Config.Collector), so the runtime sees the counters the
-// data path records.
-func NewRuntime(orig *p4ir.Program, nic *nicsim.NIC, collector *profile.Collector, pm costmodel.Params, cfg opt.Config) (*Runtime, error) {
+// unmodified to the target. Cost-model parameters come from the target's
+// capabilities, so the optimizer always models the device it is driving.
+func NewRuntime(orig *p4ir.Program, tgt target.Target, cfg opt.Config) (*Runtime, error) {
 	if err := orig.Validate(); err != nil {
 		return nil, err
 	}
@@ -121,9 +121,8 @@ func NewRuntime(orig *p4ir.Program, nic *nicsim.NIC, collector *profile.Collecto
 	}
 	r := &Runtime{
 		orig:              orig.Clone(),
-		nic:               nic,
-		collector:         collector,
-		pm:                pm,
+		tgt:               tgt,
+		pm:                tgt.Capabilities().Params,
 		cfg:               cfg,
 		current:           orig.Clone(),
 		cmap:              opt.NewCounterMap(),
@@ -131,7 +130,10 @@ func NewRuntime(orig *p4ir.Program, nic *nicsim.NIC, collector *profile.Collecto
 		updCountsOrig:     map[string]uint64{},
 		lastUpdCountsOrig: map[string]uint64{},
 	}
-	if err := nic.Swap(r.current); err != nil {
+	if err := tgt.Deploy(r.current); err != nil {
+		return nil, err
+	}
+	if err := tgt.Commit(); err != nil {
 		return nil, err
 	}
 	return r, nil
@@ -154,7 +156,11 @@ func (r *Runtime) Original() *p4ir.Program { return r.orig }
 func (r *Runtime) TranslatedCounters() *profile.Profile {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.cmap.Translate(r.collector.Snapshot(), r.orig)
+	snap, err := r.tgt.Profile(false)
+	if err != nil || snap == nil {
+		snap = profile.New()
+	}
+	return r.cmap.Translate(snap, r.orig)
 }
 
 // History returns the reports of all completed rounds.
@@ -183,8 +189,17 @@ func (r *Runtime) OptimizeOnce(window time.Duration) (RoundReport, error) {
 	report := RoundReport{Round: r.round, HitRateFeedback: map[string]float64{}}
 	record := func() { r.history = append(r.history, report) }
 
-	optProf := r.collector.Snapshot()
-	r.collector.Reset()
+	optProf, perr := r.tgt.Profile(true)
+	if perr != nil {
+		// The window is lost (e.g. the remote device is unreachable).
+		// Record the round and let the next window retry.
+		report.Error = perr.Error()
+		record()
+		return report, fmt.Errorf("core: profile window: %w", perr)
+	}
+	if optProf == nil {
+		optProf = profile.New()
+	}
 	if d := r.faultAt(faultinject.PointCounters); d.Zero {
 		// Stale/wiped counter window: the device returned no usable
 		// profile. Proceed with an empty window rather than stale data;
@@ -206,8 +221,10 @@ func (r *Runtime) OptimizeOnce(window time.Duration) (RoundReport, error) {
 	}
 
 	// Hit-rate feedback: observed rates of deployed caches override the
-	// default estimate for the same span next round.
-	for _, cs := range r.nic.CacheStatsAll() {
+	// default estimate for the same span next round. Best-effort: a
+	// backend without cache visibility just skips the feedback.
+	caches, _ := r.tgt.CacheStats()
+	for _, cs := range caches {
 		if spec, ok := r.current.Tables[cs.Table]; ok {
 			if meta, isCache := spec.CacheMeta(); isCache {
 				if rate, any := cs.HitRate(); any {
@@ -300,12 +317,14 @@ func (r *Runtime) OptimizeOnce(window time.Duration) (RoundReport, error) {
 	}
 	// Deploy only when the layout actually changed.
 	if !samePrograms(next, r.current) {
-		// Checkpoint the deployed state; measure the pre-deploy baseline
-		// on the same sample the post-deploy window will replay.
+		// Keep the pre-deploy bookkeeping; the target checkpoints the
+		// program itself (Deploy stages, Commit/Rollback resolve it).
+		// Measure the pre-deploy baseline on the same sample the
+		// post-deploy window will replay.
 		prevProg, prevMap, prevPlan := r.current, r.cmap, r.activePlan
 		verifying := r.guard != nil && r.guard.Sampler != nil && rw != nil
 		var sample []*packet.Packet
-		var preM nicsim.Measurement
+		var preM target.Measurement
 		if verifying {
 			sample = r.guard.Sampler(r.guard.verifyPackets())
 			if len(sample) == 0 {
@@ -316,11 +335,17 @@ func (r *Runtime) OptimizeOnce(window time.Duration) (RoundReport, error) {
 				// state: a freshly swapped program starts cold, and
 				// measuring it against the warm incumbent would veto
 				// every cache plan.
-				r.nic.Measure(sample)
-				preM = r.nic.Measure(sample)
+				var merr error
+				_, _ = r.tgt.Measure(sample)
+				preM, merr = r.tgt.Measure(sample)
+				if merr != nil {
+					// No usable baseline — deploy unverified rather than
+					// veto the plan on a measurement failure.
+					verifying = false
+				}
 			}
 		}
-		if err := r.nic.Swap(next); err != nil {
+		if err := r.tgt.Deploy(next); err != nil {
 			report.DeployError = err.Error()
 			r.noteDeployFailureLocked()
 			record()
@@ -331,30 +356,39 @@ func (r *Runtime) OptimizeOnce(window time.Duration) (RoundReport, error) {
 		r.activePlan = nextPlan
 		report.Deployed = true
 		if verifying {
-			r.nic.Measure(sample) // warm the fresh program's caches
-			postM := r.nic.Measure(sample)
-			delta := 0.0
-			if preM.MeanLatencyNs > 0 {
-				delta = (postM.MeanLatencyNs - preM.MeanLatencyNs) / preM.MeanLatencyNs
+			_, _ = r.tgt.Measure(sample) // warm the fresh program's caches
+			postM, merr := r.tgt.Measure(sample)
+			contradicted := false
+			if merr != nil {
+				// Can't confirm the deploy helped — fail safe and restore
+				// the checkpoint.
+				contradicted = true
+				report.DeployError = fmt.Sprintf("verify measure failed: %v", merr)
+			} else {
+				delta := 0.0
+				if preM.MeanLatencyNs > 0 {
+					delta = (postM.MeanLatencyNs - preM.MeanLatencyNs) / preM.MeanLatencyNs
+				}
+				report.VerifyDelta = delta
+				realized := preM.MeanLatencyNs - postM.MeanLatencyNs
+				// The pre-deploy measurement ran on the currently deployed
+				// (possibly already optimized) program, so the prediction to
+				// hold the plan to is its gain *over the active plan*, not
+				// over the original baseline — otherwise replacing a good
+				// plan with a better one is judged against the sum of both
+				// improvements and spuriously rolled back.
+				predicted := report.Gain
+				if report.ActivePlanGain > 0 {
+					predicted -= report.ActivePlanGain
+				}
+				regressed := delta > r.guard.maxRegression()
+				unrealized := r.guard.MinRealizedGainFrac > 0 &&
+					predicted >= r.guard.minPredictedGain() &&
+					realized < r.guard.MinRealizedGainFrac*predicted
+				contradicted = regressed || unrealized
 			}
-			report.VerifyDelta = delta
-			realized := preM.MeanLatencyNs - postM.MeanLatencyNs
-			// The pre-deploy measurement ran on the currently deployed
-			// (possibly already optimized) program, so the prediction to
-			// hold the plan to is its gain *over the active plan*, not
-			// over the original baseline — otherwise replacing a good
-			// plan with a better one is judged against the sum of both
-			// improvements and spuriously rolled back.
-			predicted := report.Gain
-			if report.ActivePlanGain > 0 {
-				predicted -= report.ActivePlanGain
-			}
-			regressed := delta > r.guard.maxRegression()
-			unrealized := r.guard.MinRealizedGainFrac > 0 &&
-				predicted >= r.guard.minPredictedGain() &&
-				realized < r.guard.MinRealizedGainFrac*predicted
-			if regressed || unrealized {
-				if err := r.nic.Swap(prevProg); err != nil {
+			if contradicted {
+				if err := r.tgt.Rollback(); err != nil {
 					// Device wedged between two programs — the breaker
 					// is the only remaining backstop.
 					report.DeployError = fmt.Sprintf("rollback failed: %v", err)
@@ -371,6 +405,12 @@ func (r *Runtime) OptimizeOnce(window time.Duration) (RoundReport, error) {
 				record()
 				return report, nil
 			}
+		}
+		if err := r.tgt.Commit(); err != nil {
+			report.DeployError = fmt.Sprintf("commit failed: %v", err)
+			r.noteDeployFailureLocked()
+			record()
+			return report, fmt.Errorf("core: commit failed: %w", err)
 		}
 		r.consecFailures = 0
 	} else {

@@ -11,6 +11,7 @@ import (
 	"pipeleon/internal/p4ir"
 	"pipeleon/internal/packet"
 	"pipeleon/internal/profile"
+	"pipeleon/internal/target"
 	"pipeleon/internal/trafficgen"
 )
 
@@ -59,7 +60,7 @@ func newRig(t *testing.T, prog *p4ir.Program, cfg opt.Config) (*Runtime, *nicsim
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := NewRuntime(prog, nic, col, costmodel.BlueField2(), cfg)
+	rt, err := NewRuntime(prog, target.NewLocal(nic, col), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

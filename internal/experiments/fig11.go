@@ -12,6 +12,7 @@ import (
 	"pipeleon/internal/packet"
 	"pipeleon/internal/pipelet"
 	"pipeleon/internal/profile"
+	"pipeleon/internal/target"
 	"pipeleon/internal/trafficgen"
 )
 
@@ -106,7 +107,7 @@ func Fig11a(opts RunOpts) *Result {
 	if err != nil {
 		panic(err)
 	}
-	rt, err := core.NewRuntime(lbProgram(), dynNIC, col, pm, cfg)
+	rt, err := core.NewRuntime(lbProgram(), target.NewLocal(dynNIC, col), cfg)
 	if err != nil {
 		panic(err)
 	}
@@ -240,7 +241,7 @@ func Fig11b(opts RunOpts) *Result {
 	if err != nil {
 		panic(err)
 	}
-	rt, err := core.NewRuntime(dashProgram(), dynNIC, col, pm, cfg)
+	rt, err := core.NewRuntime(dashProgram(), target.NewLocal(dynNIC, col), cfg)
 	if err != nil {
 		panic(err)
 	}
@@ -373,7 +374,7 @@ func Fig11c(opts RunOpts) *Result {
 	if err != nil {
 		panic(err)
 	}
-	rt, err := core.NewRuntime(nfCompositionProgram(), dynNIC, col, pm, cfg)
+	rt, err := core.NewRuntime(nfCompositionProgram(), target.NewLocal(dynNIC, col), cfg)
 	if err != nil {
 		panic(err)
 	}

@@ -9,6 +9,7 @@ import (
 	"pipeleon/internal/opt"
 	"pipeleon/internal/p4ir"
 	"pipeleon/internal/profile"
+	"pipeleon/internal/target"
 	"pipeleon/internal/trafficgen"
 )
 
@@ -60,7 +61,7 @@ func Fig2(opts RunOpts) *Result {
 	cfg.EnableCache = false
 	cfg.EnableMerge = false
 	cfg.MaxPipeletLen = 16 // keep the chain one pipelet so reordering spans it
-	rt, err := core.NewRuntime(build(), dynNIC, col, pm, cfg)
+	rt, err := core.NewRuntime(build(), target.NewLocal(dynNIC, col), cfg)
 	if err != nil {
 		panic(err)
 	}

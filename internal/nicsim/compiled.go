@@ -16,9 +16,9 @@ import (
 type operandKind uint8
 
 const (
-	opLit operandKind = iota // literal constant
-	opField                  // packet field read
-	opArg                    // entry action-data reference ($i)
+	opLit   operandKind = iota // literal constant
+	opField                    // packet field read
+	opArg                      // entry action-data reference ($i)
 )
 
 type operand struct {

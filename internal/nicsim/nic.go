@@ -118,13 +118,13 @@ type NIC struct {
 // steady-state processing performs no transient allocations; the shard
 // slot spreads concurrent contexts across the collector's counter banks.
 type procCtx struct {
-	slot    uint32
-	values  []uint64 // gathered match-key values
-	scratch []byte   // lookup key build buffer
-	keyBuf  []byte   // append-only per-packet cache-fill keys
-	path    []int32  // node ids traversed
-	writes  []fieldWrite
-	fills   []fillRef
+	slot     uint32
+	values   []uint64 // gathered match-key values
+	scratch  []byte   // lookup key build buffer
+	keyBuf   []byte   // append-only per-packet cache-fill keys
+	path     []int32  // node ids traversed
+	writes   []fieldWrite
+	fills    []fillRef
 	fillBufs [][]fieldWrite // reusable write buffers, one per fill slot
 }
 
@@ -264,6 +264,9 @@ func (n *NIC) Program() *p4ir.Program {
 	defer n.mu.RUnlock()
 	return n.prog
 }
+
+// Params returns the cost/performance model the NIC was built with.
+func (n *NIC) Params() costmodel.Params { return n.pm }
 
 // Result reports the outcome of processing one packet.
 type Result struct {

@@ -49,16 +49,16 @@ type execNode struct {
 	prepopSlot int32
 
 	// Conditional nodes.
-	cond               CondFunc
-	condSlot           int32
+	cond                CondFunc
+	condSlot            int32
 	trueNext, falseNext int32
 
 	// Runtime-cache nodes.
-	fc                 *flowCache
-	cacheSlot          int32
-	hitSite, missSite  int32
-	hitNext, missNext  int32
-	covers             []uint64 // node-id bitset of the covered span
+	fc                *flowCache
+	cacheSlot         int32
+	hitSite, missSite int32
+	hitNext, missNext int32
+	covers            []uint64 // node-id bitset of the covered span
 }
 
 type execPlan struct {

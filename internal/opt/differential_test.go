@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"pipeleon/internal/costmodel"
-	"pipeleon/internal/nicsim"
 	"pipeleon/internal/p4ir"
 	"pipeleon/internal/packet"
 	"pipeleon/internal/synth"
@@ -81,14 +80,8 @@ func TestOptimizedProgramsForwardIdentically(t *testing.T) {
 				t.Skipf("no plan found (gain %v)", res.Gain)
 			}
 
-			origNIC, err := nicsim.New(prog, nicsim.Config{Params: pm})
-			if err != nil {
-				t.Fatalf("orig NIC: %v", err)
-			}
-			optNIC, err := nicsim.New(rw.Program, nicsim.Config{Params: pm})
-			if err != nil {
-				t.Fatalf("opt NIC: %v", err)
-			}
+			origNIC := testNIC(t, prog, pm)
+			optNIC := testNIC(t, rw.Program, pm)
 
 			// Few flows, repeated: every flow traverses the optimized
 			// program cold once (miss path) and then warm (hit path).
@@ -187,8 +180,8 @@ func TestOptimizedProgramsNoSlower(t *testing.T) {
 		if rw == nil {
 			continue
 		}
-		origNIC, _ := nicsim.New(prog, nicsim.Config{Params: pm})
-		optNIC, _ := nicsim.New(rw.Program, nicsim.Config{Params: pm})
+		origNIC := testNIC(t, prog, pm)
+		optNIC := testNIC(t, rw.Program, pm)
 		gen := trafficgen.New(seed+2, 0)
 		gen.AddFlows(hitFlowsFor(prog, seed+3, 30)...)
 		gen.SetSkew(1.0)

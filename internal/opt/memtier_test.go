@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"pipeleon/internal/costmodel"
-	"pipeleon/internal/nicsim"
 	"pipeleon/internal/p4ir"
 	"pipeleon/internal/profile"
 	"pipeleon/internal/trafficgen"
@@ -97,17 +96,10 @@ func TestApplyMemoryTiersSpeedsUpEmulation(t *testing.T) {
 			t.Fatal("ApplyMemoryTiers mutated its input")
 		}
 	}
-	mkNIC := func(p *p4ir.Program) *nicsim.NIC {
-		nic, err := nicsim.New(p, nicsim.Config{Params: pm})
-		if err != nil {
-			t.Fatal(err)
-		}
-		return nic
-	}
 	gen := trafficgen.New(1, 0)
 	gen.AddFlows(trafficgen.UniformFlows(2, 100)...)
-	mo := mkNIC(prog).Measure(gen.Batch(2000))
-	mt := mkNIC(tiered).Measure(gen.Batch(2000))
+	mo := testNIC(t, prog, pm).Measure(gen.Batch(2000))
+	mt := testNIC(t, tiered, pm).Measure(gen.Batch(2000))
 	if mt.MeanLatencyNs >= mo.MeanLatencyNs {
 		t.Errorf("SRAM-pinned layout not faster: %v >= %v", mt.MeanLatencyNs, mo.MeanLatencyNs)
 	}

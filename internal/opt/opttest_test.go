@@ -1,0 +1,20 @@
+package opt
+
+import (
+	"testing"
+
+	"pipeleon/internal/costmodel"
+	"pipeleon/internal/nicsim"
+	"pipeleon/internal/p4ir"
+)
+
+// testNIC builds an emulator for prog under pm, failing the test on error —
+// the shared constructor for the differential and memory-tier suites.
+func testNIC(t *testing.T, prog *p4ir.Program, pm costmodel.Params) *nicsim.NIC {
+	t.Helper()
+	nic, err := nicsim.New(prog, nicsim.Config{Params: pm})
+	if err != nil {
+		t.Fatalf("emulator for %s: %v", prog.Name, err)
+	}
+	return nic
+}

@@ -1,0 +1,93 @@
+// Package remote implements target.Target over the control-plane
+// protocol: every call becomes an RPC against a nicd device server
+// (controlplane.WithDevice), so the Pipeleon optimization loop can run
+// off-box from the device it is tuning. Connection-level failures are
+// retried by the underlying client with idempotency keys, so a retried
+// Deploy or Measure cannot double-apply.
+package remote
+
+import (
+	"pipeleon/internal/controlplane"
+	"pipeleon/internal/p4ir"
+	"pipeleon/internal/packet"
+	"pipeleon/internal/profile"
+	"pipeleon/internal/target"
+)
+
+// Remote drives a device server over a control-plane client.
+type Remote struct {
+	client *controlplane.Client
+	cap    target.Capabilities
+}
+
+// Dial connects to a device server and fetches its capabilities.
+func Dial(addr string) (*Remote, error) {
+	client, err := controlplane.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return New(client)
+}
+
+// New wraps an existing client, fetching capabilities once; the remote
+// owns the client from here (Close closes it).
+func New(client *controlplane.Client) (*Remote, error) {
+	cap, err := client.Capabilities()
+	if err != nil {
+		client.Close()
+		return nil, err
+	}
+	return &Remote{client: client, cap: cap}, nil
+}
+
+// Program fetches the currently deployed program.
+func (r *Remote) Program() *p4ir.Program {
+	prog, err := r.client.Program()
+	if err != nil {
+		return nil
+	}
+	return prog
+}
+
+// Deploy stages prog on the remote device.
+func (r *Remote) Deploy(prog *p4ir.Program) error { return r.client.Deploy(prog) }
+
+// Commit finalizes the staged deploy.
+func (r *Remote) Commit() error { return r.client.Commit() }
+
+// Rollback restores the checkpointed program.
+func (r *Remote) Rollback() error { return r.client.Rollback() }
+
+// Measure ships the batch to the device.
+func (r *Remote) Measure(pkts []*packet.Packet) (target.Measurement, error) {
+	return r.client.Measure(pkts)
+}
+
+// Profile fetches the device's counter window.
+func (r *Remote) Profile(reset bool) (*profile.Profile, error) {
+	return r.client.ProfileWindow(reset)
+}
+
+// CacheStats fetches per-cache counters.
+func (r *Remote) CacheStats() ([]target.CacheStats, error) { return r.client.CacheStats() }
+
+// InsertEntry adds an entry on the device.
+func (r *Remote) InsertEntry(table string, e p4ir.Entry) error {
+	return r.client.InsertEntry(table, e)
+}
+
+// DeleteEntry removes the first matching entry on the device.
+func (r *Remote) DeleteEntry(table string, match []p4ir.MatchValue) error {
+	return r.client.DeleteEntry(table, match)
+}
+
+// ModifyEntry rewrites the first matching entry on the device.
+func (r *Remote) ModifyEntry(table string, match []p4ir.MatchValue, action string, args []string) error {
+	return r.client.ModifyEntry(table, match, action, args)
+}
+
+// Capabilities returns the description fetched at connect time.
+func (r *Remote) Capabilities() target.Capabilities { return r.cap }
+
+// Close terminates the connection.
+func (r *Remote) Close() error { return r.client.Close() }
