@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fmtcheck ci verify conformance traces bench
+.PHONY: build test vet race fmtcheck lint ci verify conformance traces bench
 
 build:
 	$(GO) build ./...
@@ -19,9 +19,17 @@ fmtcheck:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# lint runs the project's own static analyzers: the architecture linter
+# over the module (layering + determinism rules) and the P4 program
+# analyzer over the checked-in program corpus (each trace is linted under
+# its recorded cost model).
+lint:
+	$(GO) run ./cmd/archlint .
+	$(GO) run ./cmd/p4lint -q testdata/dash.p4 testdata/traces/bluefield2.json testdata/traces/agiliocx.json
+
 # ci is the full continuous-integration chain: formatting, static checks,
 # compile, and the complete suite under the race detector.
-ci: fmtcheck
+ci: fmtcheck lint
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
@@ -38,6 +46,7 @@ conformance:
 # suite explicitly.
 verify:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
+	$(MAKE) lint
 	$(MAKE) conformance
 
 # traces regenerates the golden replay traces consumed by the core replay

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Violation is one architectural rule breach at a source position.
+type Violation struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", v.Pos.Filename, v.Pos.Line, v.Rule, v.Msg)
+}
+
+// importRule forbids files under Dir (non-test) from importing Path.
+type importRule struct {
+	Dir  string // module-relative directory, e.g. "internal/core"
+	Path string // forbidden import path
+	Why  string
+}
+
+// determinismRule forbids wall-clock and ambient-randomness use in files
+// under Dir whose base name matches Match (empty = all non-test files):
+// no time.Now calls and no math/rand imports. These files feed the
+// record/replay machinery, where any nondeterminism makes a recorded
+// session unreproducible.
+type determinismRule struct {
+	Dir   string
+	Match func(base string) bool
+	Why   string
+}
+
+var importRules = []importRule{
+	{
+		Dir:  "internal/core",
+		Path: "pipeleon/internal/nicsim",
+		Why:  "the runtime must reach devices through internal/target, never the emulator directly",
+	},
+}
+
+var determinismRules = []determinismRule{
+	{
+		Dir: "internal/nicsim",
+		Why: "the emulator fast path must be deterministic for record/replay",
+	},
+	{
+		Dir: "internal/target",
+		Match: func(base string) bool {
+			return strings.Contains(base, "replay") || strings.Contains(base, "record")
+		},
+		Why: "trace record/replay must be bit-reproducible",
+	},
+}
+
+// lintModule walks the module rooted at root and returns all violations,
+// sorted by position. Test files (_test.go) are always exempt: they may
+// construct emulators and use wall-clock timeouts freely.
+func lintModule(root string) ([]Violation, error) {
+	var out []Violation
+	fset := token.NewFileSet()
+	for _, r := range importRules {
+		vs, err := lintDir(fset, filepath.Join(root, r.Dir), nil, func(f *ast.File) []Violation {
+			return checkImports(fset, f, r)
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vs...)
+	}
+	for _, r := range determinismRules {
+		r := r
+		vs, err := lintDir(fset, filepath.Join(root, r.Dir), r.Match, func(f *ast.File) []Violation {
+			return checkDeterminism(fset, f, r)
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vs...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out, nil
+}
+
+// lintDir parses every matching non-test .go file under dir (recursively)
+// and applies check. A missing directory is not an error: rules describe
+// the layout, and a package may legitimately not exist yet.
+func lintDir(fset *token.FileSet, dir string, match func(string) bool, check func(*ast.File) []Violation) ([]Violation, error) {
+	var out []Violation
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if d == nil { // root does not exist
+				return fs.SkipAll
+			}
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		base := d.Name()
+		if !strings.HasSuffix(base, ".go") || strings.HasSuffix(base, "_test.go") {
+			return nil
+		}
+		if match != nil && !match(base) {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+		out = append(out, check(f)...)
+		return nil
+	})
+	return out, err
+}
+
+func checkImports(fset *token.FileSet, f *ast.File, r importRule) []Violation {
+	var out []Violation
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		if path == r.Path {
+			out = append(out, Violation{
+				Pos:  fset.Position(imp.Pos()),
+				Rule: "layering",
+				Msg:  fmt.Sprintf("imports %s: %s", path, r.Why),
+			})
+		}
+	}
+	return out
+}
+
+func checkDeterminism(fset *token.FileSet, f *ast.File, r determinismRule) []Violation {
+	var out []Violation
+	// The local name the "time" package is imported under (if at all),
+	// so aliased imports are still caught and shadowed identifiers named
+	// "time" are not.
+	timeName := ""
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		switch path {
+		case "math/rand", "math/rand/v2":
+			out = append(out, Violation{
+				Pos:  fset.Position(imp.Pos()),
+				Rule: "determinism",
+				Msg:  fmt.Sprintf("imports %s (ambient RNG): %s; use internal/stats.RNG with an explicit seed", path, r.Why),
+			})
+		case "time":
+			timeName = "time"
+			if imp.Name != nil {
+				timeName = imp.Name.Name
+			}
+		}
+	}
+	if timeName == "" || timeName == "_" {
+		return out
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Now" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == timeName && id.Obj == nil {
+			out = append(out, Violation{
+				Pos:  fset.Position(sel.Pos()),
+				Rule: "determinism",
+				Msg:  fmt.Sprintf("calls time.Now: %s; use the virtual clock or a caller-supplied timestamp", r.Why),
+			})
+		}
+		return true
+	})
+	return out
+}

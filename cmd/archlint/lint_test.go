@@ -1,0 +1,162 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes a fake module layout under a temp dir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestLayeringViolation(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/core/bad.go": `package core
+
+import _ "pipeleon/internal/nicsim"
+`,
+		"internal/core/bad_test.go": `package core
+
+import _ "pipeleon/internal/nicsim"
+`,
+	})
+	vs, err := lintModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 {
+		t.Fatalf("got %d violations, want 1 (test file exempt): %v", len(vs), vs)
+	}
+	if vs[0].Rule != "layering" || !strings.HasSuffix(vs[0].Pos.Filename, "bad.go") {
+		t.Fatalf("unexpected violation: %v", vs[0])
+	}
+}
+
+func TestDeterminismViolations(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/nicsim/clock.go": `package nicsim
+
+import "time"
+
+func now() time.Time { return time.Now() }
+`,
+		"internal/nicsim/rng.go": `package nicsim
+
+import "math/rand"
+
+func roll() int { return rand.Int() }
+`,
+		// Aliased time import must still be caught.
+		"internal/nicsim/alias.go": `package nicsim
+
+import clk "time"
+
+func now2() clk.Time { return clk.Now() }
+`,
+		// A local variable named time is not the package.
+		"internal/nicsim/shadow.go": `package nicsim
+
+import "time"
+
+type ticker struct{ Now func() time.Time }
+
+func use(time ticker) { _ = time.Now() }
+`,
+		// time usage without Now is fine.
+		"internal/nicsim/ok.go": `package nicsim
+
+import "time"
+
+func span(a, b time.Time) time.Duration { return b.Sub(a) }
+`,
+		"internal/nicsim/ok_test.go": `package nicsim
+
+import "time"
+
+var t0 = time.Now()
+`,
+	})
+	vs, err := lintModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 3 {
+		t.Fatalf("got %d violations, want 3: %v", len(vs), vs)
+	}
+	byFile := map[string]string{}
+	for _, v := range vs {
+		if v.Rule != "determinism" {
+			t.Errorf("unexpected rule %q: %v", v.Rule, v)
+		}
+		byFile[filepath.Base(v.Pos.Filename)] = v.Msg
+	}
+	if !strings.Contains(byFile["clock.go"], "time.Now") {
+		t.Errorf("clock.go: %q", byFile["clock.go"])
+	}
+	if !strings.Contains(byFile["rng.go"], "math/rand") {
+		t.Errorf("rng.go: %q", byFile["rng.go"])
+	}
+	if !strings.Contains(byFile["alias.go"], "time.Now") {
+		t.Errorf("alias.go: %q", byFile["alias.go"])
+	}
+}
+
+func TestTargetRuleOnlyCoversReplayRecordFiles(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		// local.go may use the wall clock (live device measurements).
+		"internal/target/local.go": `package target
+
+import "time"
+
+var t0 = time.Now()
+`,
+		"internal/target/replay.go": `package target
+
+import "time"
+
+var t1 = time.Now()
+`,
+	})
+	vs, err := lintModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || !strings.HasSuffix(vs[0].Pos.Filename, "replay.go") {
+		t.Fatalf("got %v, want exactly one violation in replay.go", vs)
+	}
+}
+
+func TestMissingDirsAreNotErrors(t *testing.T) {
+	vs, err := lintModule(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("empty module produced violations: %v", vs)
+	}
+}
+
+// The real repo must be clean — this is the same check `make lint` runs.
+func TestRepoIsClean(t *testing.T) {
+	vs, err := lintModule("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		t.Errorf("%s", v)
+	}
+}

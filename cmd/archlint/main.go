@@ -1,0 +1,50 @@
+// Command archlint checks the repo's architectural invariants with
+// go/parser + go/ast — cheap structural rules that gofmt and go vet do
+// not cover:
+//
+//   - layering: internal/core must not import internal/nicsim (the
+//     runtime reaches devices only through the internal/target
+//     abstraction; the emulator is just one backend).
+//   - determinism: internal/nicsim fast-path files and internal/target
+//     record/replay files must not call time.Now or import math/rand —
+//     any ambient wall clock or global RNG would make recorded device
+//     sessions unreproducible on replay.
+//
+// Test files are exempt from every rule. Violations print one per line
+// as file:line: [rule] message; the exit status is 1 when any were
+// found and 2 on I/O or parse errors.
+//
+// Usage:
+//
+//	archlint [module-root]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	flag.Parse()
+	root := "."
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: archlint [module-root]")
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		root = flag.Arg(0)
+	}
+	vs, err := lintModule(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "archlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, v := range vs {
+		fmt.Println(v)
+	}
+	if len(vs) > 0 {
+		fmt.Fprintf(os.Stderr, "archlint: %d violation(s)\n", len(vs))
+		os.Exit(1)
+	}
+}

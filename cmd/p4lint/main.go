@@ -1,0 +1,114 @@
+// Command p4lint runs the internal/analysis static analyzer over P4
+// programs offline — the same rule set the runtime applies before any
+// deploy, exposed as a standalone checker for CI and development.
+//
+// Usage:
+//
+//	p4lint [-target bluefield2|agiliocx|emulated] [-warn-as-error]
+//	    prog.json prog2.p4 trace.json ...
+//
+// Inputs may be BMv2-style program JSON, .p4 source (compiled with the
+// internal frontend), or recorded replay traces (the embedded program is
+// linted). Each diagnostic prints as
+//
+//	file: CODE severity node(field): message
+//
+// The exit status is 1 when any Error-severity diagnostic (or, with
+// -warn-as-error, any diagnostic at all) was reported, and 2 on usage or
+// I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pipeleon/internal/analysis"
+	"pipeleon/internal/costmodel"
+	"pipeleon/internal/p4c"
+	"pipeleon/internal/p4ir"
+	"pipeleon/internal/target"
+)
+
+func main() {
+	var (
+		targetName  = flag.String("target", "", "cost model target enabling memory-tier rules: bluefield2|agiliocx|emulated (default: none, or a trace's recorded model)")
+		warnAsError = flag.Bool("warn-as-error", false, "exit non-zero on warnings too")
+		quiet       = flag.Bool("q", false, "suppress per-file ok lines")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: p4lint [-target name] [-warn-as-error] file.json|file.p4|trace.json ...")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range flag.Args() {
+		prog, pm, hasPM, err := load(path, *targetName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p4lint: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		var opts []analysis.Option
+		if hasPM {
+			opts = append(opts, analysis.WithParams(pm))
+		}
+		diags := analysis.Lint(prog, opts...)
+		for _, d := range diags {
+			fmt.Printf("%s: %s\n", path, d)
+		}
+		if diags.HasErrors() || (*warnAsError && len(diags) > 0) {
+			failed = true
+		} else if !*quiet {
+			fmt.Printf("%s: ok (%d warning(s))\n", path, len(diags))
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// load resolves one CLI argument into a program and (optionally) the
+// cost-model parameters to lint it under.
+func load(path, targetName string) (*p4ir.Program, costmodel.Params, bool, error) {
+	var pm costmodel.Params
+	hasPM := true
+	switch targetName {
+	case "bluefield2":
+		pm = costmodel.BlueField2()
+	case "agiliocx":
+		pm = costmodel.AgilioCX()
+	case "emulated":
+		pm = costmodel.EmulatedNIC()
+	case "":
+		hasPM = false
+	default:
+		return nil, pm, false, fmt.Errorf("unknown target %q", targetName)
+	}
+	if strings.HasSuffix(path, ".p4") {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, pm, false, err
+		}
+		prog, err := p4c.Compile(string(src))
+		if err != nil {
+			return nil, pm, false, fmt.Errorf("compiling: %w", err)
+		}
+		return prog, pm, hasPM, nil
+	}
+	// A replay trace is JSON too; try it first so its embedded program and
+	// recorded cost model are used.
+	if trace, err := target.LoadTrace(path); err == nil {
+		if prog, perr := trace.EmbeddedProgram(); perr == nil && prog != nil {
+			if !hasPM {
+				pm, hasPM = trace.Capabilities.Params, true
+			}
+			return prog, pm, hasPM, nil
+		}
+	}
+	prog, err := p4ir.LoadFile(path)
+	if err != nil {
+		return nil, pm, false, err
+	}
+	return prog, pm, hasPM, nil
+}

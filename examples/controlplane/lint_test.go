@@ -1,0 +1,19 @@
+package main
+
+import (
+	"testing"
+
+	"pipeleon"
+)
+
+// The example program must pass the same static-analysis gate the runtime
+// applies before any deploy.
+func TestExampleProgramLintsClean(t *testing.T) {
+	prog, err := buildCPDemo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := pipeleon.Lint(prog, pipeleon.BlueField2()); l.HasErrors() {
+		t.Errorf("example program has error diagnostics:\n%v", l.Errors())
+	}
+}

@@ -15,8 +15,10 @@ import (
 	"pipeleon"
 )
 
-func main() {
-	prog, err := pipeleon.ChainTables("cpdemo", []pipeleon.TableSpec{
+// buildCPDemo returns the demo program: a ternary screening table
+// followed by an initially-empty ACL the control plane populates.
+func buildCPDemo() (*pipeleon.Program, error) {
+	return pipeleon.ChainTables("cpdemo", []pipeleon.TableSpec{
 		{
 			Name: "screen",
 			Keys: []pipeleon.Key{{Field: "ipv4.srcAddr", Kind: pipeleon.MatchTernary, Width: 32}},
@@ -39,6 +41,10 @@ func main() {
 			DefaultAction: "allow",
 		},
 	})
+}
+
+func main() {
+	prog, err := buildCPDemo()
 	if err != nil {
 		log.Fatal(err)
 	}

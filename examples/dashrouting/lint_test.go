@@ -1,0 +1,15 @@
+package main
+
+import (
+	"testing"
+
+	"pipeleon"
+)
+
+// The example program must pass the same static-analysis gate the runtime
+// applies before any deploy.
+func TestExampleProgramLintsClean(t *testing.T) {
+	if l := pipeleon.Lint(buildDash(), pipeleon.AgilioCX()); l.HasErrors() {
+		t.Errorf("example program has error diagnostics:\n%v", l.Errors())
+	}
+}

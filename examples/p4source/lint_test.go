@@ -1,0 +1,23 @@
+package main
+
+import (
+	"testing"
+
+	"pipeleon"
+)
+
+// The compiled dash.p4 program must pass the same static-analysis gate
+// the runtime applies before any deploy, including the memory-tier rules
+// under the example's tiered target.
+func TestExampleProgramLintsClean(t *testing.T) {
+	prog, err := pipeleon.LoadProgram("../../testdata/dash.p4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := pipeleon.AgilioCX()
+	target.SRAMFactor = 0.4
+	target.SRAMBytes = 8 << 10
+	if l := pipeleon.Lint(prog, target); l.HasErrors() {
+		t.Errorf("example program has error diagnostics:\n%v", l.Errors())
+	}
+}

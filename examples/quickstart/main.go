@@ -13,10 +13,11 @@ import (
 	"pipeleon"
 )
 
-func main() {
-	// A toy pipeline: two ternary packet-processing tables, then an ACL
-	// that drops most traffic, in the worst place — last.
-	prog, err := pipeleon.ChainTables("quickstart", []pipeleon.TableSpec{
+// buildQuickstart returns the demo pipeline: two ternary
+// packet-processing tables, then an ACL that drops most traffic, in the
+// worst place — last.
+func buildQuickstart() (*pipeleon.Program, error) {
+	return pipeleon.ChainTables("quickstart", []pipeleon.TableSpec{
 		{
 			Name: "classify",
 			Keys: []pipeleon.Key{{Field: "ipv4.srcAddr", Kind: pipeleon.MatchTernary, Width: 32}},
@@ -55,6 +56,10 @@ func main() {
 			},
 		},
 	})
+}
+
+func main() {
+	prog, err := buildQuickstart()
 	if err != nil {
 		log.Fatal(err)
 	}

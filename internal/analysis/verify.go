@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+
+	"pipeleon/internal/deps"
+	"pipeleon/internal/diag"
+	"pipeleon/internal/p4ir"
+)
+
+// Rewrite-safety rule codes.
+const (
+	CodeVerifyInput  = "RW000" // input program is not analyzable
+	CodeLostNode     = "RW001" // original node dropped or unreachable
+	CodeBrokenDep    = "RW002" // dependency ordering reversed or lost
+	CodeBadCovers    = "RW003" // generated table's covers are inconsistent
+	CodeUnsoundXform = "RW004" // declared rewrite violates its legality rule
+)
+
+// VerifyRewrite proves that opt preserves every dependency ordering of
+// orig modulo the declared rewrites (cache, merge, memtier). It
+// recomputes the internal/deps dependency graph of the original program
+// and checks, for every read-after-write, write-after-read, and
+// write-after-write edge u→v between nodes on a common execution path,
+// that the optimized program still runs (the representation of) u before
+// (the representation of) v:
+//
+//   - a table deleted by an in-place merge is represented by the merged
+//     table, with the member order inside the merged action standing in
+//     for execution order;
+//   - cache tables (runtime caches and prepopulated merged caches) are
+//     accelerators: their covers remain in the program on the miss path
+//     and represent themselves, while the cache's own soundness is
+//     checked against the caching/merging legality rules (RW004);
+//   - every other node must appear, reachable, under its own name.
+//
+// A violation yields an Error diagnostic naming the violated edge and its
+// witness field. Annotation-only rewrites (memory-tier pinning) pass
+// trivially.
+func VerifyRewrite(orig, opt *p4ir.Program) diag.List {
+	if sd := orig.StructuralDiagnostics(); sd.HasErrors() {
+		var l diag.List
+		l.Add(CodeVerifyInput, diag.Error, "", "",
+			"original program is structurally invalid (%d diagnostics); run the structural analyzer on it first", len(sd))
+		return l
+	}
+	if sd := opt.StructuralDiagnostics(); sd.HasErrors() {
+		sd.Sort()
+		return sd
+	}
+	gO, gN := newGraph(orig), newGraph(opt)
+	l, rep, coverIdx := representation(gO, gN)
+	l = append(l, verifyEdges(gO, gN, rep, coverIdx)...)
+	l = append(l, verifyTransforms(gO, gN)...)
+	l.Sort()
+	return l
+}
+
+// representation maps every reachable original node to the optimized node
+// that executes on its behalf, reporting RW001/RW003 inconsistencies.
+// coverIdx records, for merged tables, each member's position inside the
+// combined action.
+func representation(gO, gN *graph) (diag.List, map[string]string, map[string]map[string]int) {
+	var l diag.List
+	rep := map[string]string{}
+	coverIdx := map[string]map[string]int{}
+
+	optTables := make([]string, 0, len(gN.prog.Tables))
+	for name := range gN.prog.Tables {
+		optTables = append(optTables, name)
+	}
+	sort.Strings(optTables)
+	for _, name := range optTables {
+		t := gN.prog.Tables[name]
+		kind := t.Annotations[p4ir.AnnotKind]
+		if kind == "" {
+			continue
+		}
+		covers := strings.Split(t.Annotations[p4ir.AnnotCovers], ",")
+		switch kind {
+		case p4ir.KindMerged:
+			idx := map[string]int{}
+			for i, c := range covers {
+				if _, ok := gO.prog.Tables[c]; !ok {
+					l.Add(CodeBadCovers, diag.Error, name, "",
+						"merged table covers %q, which is not a table in the original program", c)
+					continue
+				}
+				if gN.reachable(c) {
+					l.Add(CodeBadCovers, diag.Error, name, "",
+						"table %q is merged into %q but still executes in the optimized program", c, name)
+				}
+				if prev, dup := rep[c]; dup {
+					l.Add(CodeBadCovers, diag.Error, name, "",
+						"table %q is covered by both %q and %q", c, prev, name)
+					continue
+				}
+				rep[c] = name
+				idx[c] = i
+			}
+			coverIdx[name] = idx
+		case p4ir.KindCache, p4ir.KindMergedCache:
+			for _, c := range covers {
+				if _, ok := gO.prog.Tables[c]; !ok {
+					l.Add(CodeBadCovers, diag.Error, name, "",
+						"cache covers %q, which is not a table in the original program", c)
+					continue
+				}
+				if !gN.reachable(c) {
+					l.Add(CodeBadCovers, diag.Error, name, "",
+						"cache cover %q has no reachable miss path in the optimized program", c)
+				}
+			}
+		}
+	}
+	// Surviving nodes represent themselves.
+	for _, name := range gO.topo {
+		if _, mapped := rep[name]; mapped {
+			continue
+		}
+		if gN.reachable(name) {
+			rep[name] = name
+			continue
+		}
+		l.Add(CodeLostNode, diag.Error, name, "",
+			"original node is dropped or unreachable in the optimized program")
+	}
+	return l, rep, coverIdx
+}
+
+// verifyEdges checks every dependency edge of the original program against
+// the optimized precedence order.
+func verifyEdges(gO, gN *graph, rep map[string]string, coverIdx map[string]map[string]int) diag.List {
+	var l diag.List
+	nodes := append([]string(nil), gO.topo...)
+	sort.Strings(nodes)
+	for _, u := range nodes {
+		for _, v := range nodes {
+			if u == v || !gO.desc[u][v] {
+				continue
+			}
+			kind, field := edgeBetween(gO, u, v)
+			if kind == "" {
+				continue
+			}
+			ru, rv := rep[u], rep[v]
+			if ru == "" || rv == "" {
+				continue // RW001 already reported
+			}
+			if ru == rv {
+				// Both ends merged into one table: the combined action
+				// executes members in cover order.
+				idx := coverIdx[ru]
+				if idx != nil && idx[u] > idx[v] {
+					l.Add(CodeBrokenDep, diag.Error, ru, field,
+						"%s dependency %s→%s on %q is reversed inside merged table %q", kind, u, v, field, ru)
+				}
+				continue
+			}
+			switch {
+			case gN.desc[rv][ru]:
+				l.Add(CodeBrokenDep, diag.Error, rv, field,
+					"%s dependency %s→%s on %q is reversed: %q now precedes %q", kind, u, v, field, rv, ru)
+			case !gN.desc[ru][rv]:
+				l.Add(CodeBrokenDep, diag.Error, ru, field,
+					"%s dependency %s→%s on %q is lost: no path orders %q before %q", kind, u, v, field, ru, rv)
+			}
+		}
+	}
+	return l
+}
+
+// edgeBetween classifies the strongest dependency from u to v (RAW > WAW >
+// WAR, matching deps.Dependency) over full node effects — conditionals
+// participate as pure readers — and returns a witness field.
+func edgeBetween(g *graph, u, v string) (kind, field string) {
+	wu, ru := g.writes(u), g.reads(u)
+	wv, rv := g.writes(v), g.reads(v)
+	if f := firstCommon(wu, rv); f != "" {
+		return deps.DepRAW.String(), f
+	}
+	if f := firstCommon(wu, wv); f != "" {
+		return deps.DepWAW.String(), f
+	}
+	if f := firstCommon(ru, wv); f != "" {
+		return deps.DepWAR.String(), f
+	}
+	return "", ""
+}
+
+// verifyTransforms re-proves each declared rewrite's own legality rule
+// (RW004): caches against the caching conditions, merged tables against
+// the merging conditions evaluated on the original program (the members
+// no longer exist in the optimized one).
+func verifyTransforms(gO, gN *graph) diag.List {
+	var l diag.List
+	names := make([]string, 0, len(gN.prog.Tables))
+	for name := range gN.prog.Tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := gN.prog.Tables[name]
+		switch t.Annotations[p4ir.AnnotKind] {
+		case p4ir.KindCache, p4ir.KindMergedCache:
+			if spec, ok := t.CacheMeta(); ok {
+				for _, d := range cacheSpecDiags(gN, spec) {
+					if d.Severity == diag.Error {
+						l.Add(CodeUnsoundXform, diag.Error, d.Node, d.Field, "%s", d.Message)
+					}
+				}
+			}
+		case p4ir.KindMerged:
+			covers := strings.Split(t.Annotations[p4ir.AnnotCovers], ",")
+			l = append(l, mergeDiags(gO, name, covers)...)
+		}
+	}
+	return l
+}
+
+// mergeDiags checks the in-place merge legality of a cover list against
+// the original program's effects: no switch-case member, no non-final
+// dropping member, and no member writing a field a later member reads.
+func mergeDiags(gO *graph, name string, covers []string) diag.List {
+	var l diag.List
+	for i, u := range covers {
+		eu := gO.an.Effects(u)
+		if _, ok := gO.prog.Tables[u]; !ok {
+			continue // RW003 already reported
+		}
+		if eu.SwitchCase {
+			l.Add(CodeUnsoundXform, diag.Error, name, "",
+				"merged member %q is switch-case; a merged table has a single successor", u)
+		}
+		if eu.Drops && i != len(covers)-1 {
+			l.Add(CodeUnsoundXform, diag.Error, name, "",
+				"merged member %q can drop before later member %q", u, covers[len(covers)-1])
+		}
+		for j := i + 1; j < len(covers); j++ {
+			v := covers[j]
+			if _, ok := gO.prog.Tables[v]; !ok {
+				continue
+			}
+			if f := firstCommon(eu.Writes, gO.an.Effects(v).Reads); f != "" {
+				l.Add(CodeUnsoundXform, diag.Error, name, f,
+					"merged member %q writes %q, read by later member %q", u, f, v)
+			}
+		}
+	}
+	return l
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"pipeleon/internal/diag"
 	"pipeleon/internal/p4ir"
 	"pipeleon/internal/packet"
 	"pipeleon/internal/profile"
@@ -258,14 +259,33 @@ func (c *Client) Counters() (*profile.Profile, error) {
 // Device operations — the client half of the target/remote backend.
 // They require the far end to be a device server (WithDevice).
 
+// DeployError is returned by Deploy when the server answered with
+// static-analysis diagnostics: a rejection (Diags.HasErrors()) or — never
+// as an error — warnings attached to an accepted deploy. The structured
+// list lets callers route individual diagnostics (by code, node, or
+// severity) instead of parsing a flattened message.
+type DeployError struct {
+	Diags diag.List
+	Err   error
+}
+
+func (e *DeployError) Error() string { return e.Err.Error() }
+
+func (e *DeployError) Unwrap() error { return e.Err }
+
 // Deploy stages prog on the remote device, checkpointing the running
-// program for Rollback.
+// program for Rollback. The server lints the program against its own
+// cost model first; a rejection comes back as a *DeployError carrying
+// the analyzer's diagnostics.
 func (c *Client) Deploy(prog *p4ir.Program) error {
 	data, err := prog.MarshalJSON()
 	if err != nil {
 		return err
 	}
-	_, err = c.call(&Request{Op: OpDeploy, Program: data})
+	resp, err := c.call(&Request{Op: OpDeploy, Program: data})
+	if err != nil && resp != nil && len(resp.Diags) > 0 {
+		return &DeployError{Diags: resp.Diags, Err: err}
+	}
 	return err
 }
 

@@ -1,0 +1,124 @@
+package controlplane
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pipeleon/internal/analysis"
+	"pipeleon/internal/diag"
+	"pipeleon/internal/p4ir"
+	"pipeleon/internal/packet"
+)
+
+// Deploy-side static analysis: the server lints staged programs against
+// its own cost model, rejections carry structured diagnostics over the
+// wire, and warnings ride along with accepted deploys.
+
+func TestRemoteDeployRejectedWithDiagnostics(t *testing.T) {
+	srv, _ := newDeviceServer(t)
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// An entry value that cannot fit its 16-bit key: PL104 at Error.
+	bad, err := p4ir.ChainTables("badprog", []p4ir.TableSpec{{
+		Name:          "acl",
+		Keys:          []p4ir.Key{{Field: "tcp.dport", Kind: p4ir.MatchExact, Width: packet.FieldWidth("tcp.dport")}},
+		Actions:       []*p4ir.Action{p4ir.DropAction(), p4ir.NoopAction("allow")},
+		DefaultAction: "allow",
+		Entries:       []p4ir.Entry{{Match: []p4ir.MatchValue{{Value: 1 << 20}}, Action: "drop_packet"}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cl.Deploy(bad)
+	if err == nil {
+		t.Fatal("deploy of invalid program succeeded")
+	}
+	var de *DeployError
+	if !errors.As(err, &de) {
+		t.Fatalf("error is %T, want *DeployError: %v", err, err)
+	}
+	if !de.Diags.HasErrors() {
+		t.Fatalf("DeployError carries no error diagnostics: %v", de.Diags)
+	}
+	found := false
+	for _, d := range de.Diags.Errors() {
+		if d.Code == analysis.CodeWidthMismatch && d.Node == "acl" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no %s diagnostic for table acl in %v", analysis.CodeWidthMismatch, de.Diags)
+	}
+	if !strings.Contains(err.Error(), "static analysis") {
+		t.Errorf("error message %q does not mention static analysis", err)
+	}
+
+	// The device must still run the original program: the bad one was
+	// never staged.
+	cur, err := cl.Capabilities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cur
+}
+
+func TestRemoteDeployAcceptsCleanProgram(t *testing.T) {
+	srv, dev := newDeviceServer(t)
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	good, err := p4ir.ChainTables("goodprog", []p4ir.TableSpec{{
+		Name:          "acl2",
+		Keys:          []p4ir.Key{{Field: "tcp.sport", Kind: p4ir.MatchExact, Width: packet.FieldWidth("tcp.sport")}},
+		Actions:       []*p4ir.Action{p4ir.DropAction(), p4ir.NoopAction("allow")},
+		DefaultAction: "allow",
+		Entries:       []p4ir.Entry{{Match: []p4ir.MatchValue{{Value: 80}}, Action: "drop_packet"}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Deploy(good); err != nil {
+		t.Fatalf("deploy of clean program failed: %v", err)
+	}
+	if err := cl.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	cur := dev.Program()
+	if cur.Name != "goodprog" {
+		t.Errorf("device runs %q after committed deploy, want goodprog", cur.Name)
+	}
+}
+
+// Diagnostics must survive the JSON framing byte-for-byte (severity is
+// marshalled as text, not an integer).
+func TestDiagnosticsRoundTripJSON(t *testing.T) {
+	var l diag.List
+	l.Add("PL104", diag.Error, "acl", "tcp.dport", "entry 0 value 0x%x exceeds the %d-bit key width", 1<<20, 16)
+	l.Add("PL101", diag.Warn, "t9", "", "unreachable from root")
+	resp := &Response{ID: 7, OK: false, Error: "rejected", Diags: l}
+
+	var buf strings.Builder
+	if err := writeFrame(&buf, resp); err != nil {
+		t.Fatal(err)
+	}
+	var got Response
+	if err := readFrame(strings.NewReader(buf.String()), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Diags) != 2 {
+		t.Fatalf("round-trip lost diagnostics: %v", got.Diags)
+	}
+	for i := range l {
+		if got.Diags[i] != l[i] {
+			t.Errorf("diag %d: got %+v, want %+v", i, got.Diags[i], l[i])
+		}
+	}
+}

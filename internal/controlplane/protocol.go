@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 
+	"pipeleon/internal/diag"
 	"pipeleon/internal/p4ir"
 	"pipeleon/internal/packet"
 )
@@ -144,6 +145,11 @@ type Response struct {
 	OK    bool            `json:"ok"`
 	Error string          `json:"error,omitempty"`
 	Data  json.RawMessage `json:"data,omitempty"`
+	// Diags carries structured static-analysis diagnostics for deploy
+	// requests: the reason a rejected program was refused, or the
+	// warnings that rode along with an accepted one. Clients surface
+	// them verbatim instead of re-running the analyzer.
+	Diags diag.List `json:"diags,omitempty"`
 }
 
 // maxFrame bounds a single message (16 MiB) to fail fast on framing

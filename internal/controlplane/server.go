@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"pipeleon/internal/analysis"
 	"pipeleon/internal/faultinject"
 	"pipeleon/internal/p4ir"
 	"pipeleon/internal/packet"
@@ -263,6 +264,16 @@ func (s *Server) apply(req *Request) *Response {
 		prog := &p4ir.Program{}
 		if err := prog.UnmarshalJSON(req.Program); err != nil {
 			return fail(err)
+		}
+		// Lint against the device's own cost model before staging: a
+		// remote client gets the same static-analysis gate a local
+		// runtime applies, with the diagnostics on the wire.
+		diags := analysis.Lint(prog, analysis.WithParams(s.device.Capabilities().Params))
+		resp.Diags = diags
+		if diags.HasErrors() {
+			resp.OK = false
+			resp.Error = "program rejected by static analysis: " + diags.Errors()[0].String()
+			return resp
 		}
 		if err := s.device.Deploy(prog); err != nil {
 			return fail(err)

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"pipeleon/internal/analysis"
 	"pipeleon/internal/costmodel"
 	"pipeleon/internal/faultinject"
 	"pipeleon/internal/opt"
@@ -107,6 +108,10 @@ type RoundReport struct {
 	// BreakerOpen is true when the circuit breaker paused redeployment
 	// for this round.
 	BreakerOpen bool
+	// Diagnostics holds the static-analysis findings for the candidate
+	// program of this round (internal/analysis). Error-severity findings
+	// block the deploy (DeployError says so); warnings are informational.
+	Diagnostics []string
 }
 
 // NewRuntime builds a runtime for the given original program, deploying it
@@ -115,6 +120,13 @@ type RoundReport struct {
 func NewRuntime(orig *p4ir.Program, tgt target.Target, cfg opt.Config) (*Runtime, error) {
 	if err := orig.Validate(); err != nil {
 		return nil, err
+	}
+	// Semantic gate: the original program must itself lint clean of
+	// Error-severity findings (unsound caches, overcommitted tiers, bad
+	// entries) before it is deployed anywhere.
+	if diags := analysis.Lint(orig, analysis.WithParams(tgt.Capabilities().Params)); diags.HasErrors() {
+		return nil, fmt.Errorf("core: program failed static analysis: %s",
+			strings.Join(diags.Errors().Strings(), "; "))
 	}
 	if cfg.HitRateOverride == nil {
 		cfg.HitRateOverride = map[string]float64{}
@@ -317,6 +329,13 @@ func (r *Runtime) OptimizeOnce(window time.Duration) (RoundReport, error) {
 	}
 	// Deploy only when the layout actually changed.
 	if !samePrograms(next, r.current) {
+		// Static-analysis gate: a program with Error diagnostics never
+		// reaches the device, whatever the search promised.
+		if !r.deployGate(next, &report) {
+			r.noteDeployFailureLocked()
+			record()
+			return report, fmt.Errorf("core: deploy %s", report.DeployError)
+		}
 		// Keep the pre-deploy bookkeeping; the target checkpoints the
 		// program itself (Deploy stages, Commit/Rollback resolve it).
 		// Measure the pre-deploy baseline on the same sample the

@@ -47,13 +47,15 @@ func TestRuntimeConcurrentStress(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		v := uint64(0x20000000)
+		v := uint64(0x2000)
 		for {
 			select {
 			case <-stop:
 				return
 			default:
-				v++
+				// Stay within the 16-bit sport key width; an oversized
+				// value would trip PL104 and block the next deploy.
+				v = 0x2000 + (v+1)&0x0fff
 				e := p4ir.Entry{Match: []p4ir.MatchValue{{Value: v}}, Action: "drop_packet"}
 				if err := rt.InsertEntry("acl1", e); err != nil {
 					t.Error(err)

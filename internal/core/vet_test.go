@@ -1,0 +1,102 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pipeleon/internal/costmodel"
+	"pipeleon/internal/nicsim"
+	"pipeleon/internal/opt"
+	"pipeleon/internal/p4ir"
+	"pipeleon/internal/packet"
+	"pipeleon/internal/profile"
+	"pipeleon/internal/target"
+)
+
+// The runtime's static-analysis gate: erroring programs never reach the
+// device, diagnostics land in the round report, and NewRuntime refuses an
+// original program that fails the lint outright.
+
+func TestNewRuntimeRejectsInvalidProgram(t *testing.T) {
+	prog, err := p4ir.ChainTables("badwidth", []p4ir.TableSpec{{
+		Name:          "t",
+		Keys:          []p4ir.Key{{Field: "ipv4.tos", Kind: p4ir.MatchExact, Width: packet.FieldWidth("ipv4.tos")}},
+		Actions:       []*p4ir.Action{p4ir.NoopAction("pass")},
+		DefaultAction: "pass",
+		// 0x1ff cannot fit the 8-bit tos key: PL104 error.
+		Entries: []p4ir.Entry{{Match: []p4ir.MatchValue{{Value: 0x1ff}}, Action: "pass"}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := profile.NewCollector()
+	// The emulator itself accepts the program (it would simply never
+	// match); the runtime's analyzer is the layer that rejects it.
+	nic, err := nicsim.New(prog, nicsim.Config{Params: costmodel.BlueField2(), Collector: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewRuntime(prog, target.NewLocal(nic, col), opt.DefaultConfig())
+	if err == nil {
+		t.Fatal("NewRuntime accepted a program with PL104 errors")
+	}
+	if !strings.Contains(err.Error(), "PL104") {
+		t.Errorf("error does not carry the diagnostic code: %v", err)
+	}
+}
+
+func TestVetProgramFlagsBrokenRewrite(t *testing.T) {
+	prog := aclProgram(t)
+	pm := costmodel.BlueField2()
+
+	// The unchanged program vets clean (pointer-identical: no rewrite
+	// proof needed).
+	if l := vetProgram(prog, prog, pm); l.HasErrors() {
+		t.Fatalf("identity deploy has error diagnostics: %v", l.Errors())
+	}
+
+	// A candidate that silently dropped a table must be blocked.
+	mut := prog.Clone()
+	for name, tab := range mut.Tables {
+		if name != mut.Root && !tab.IsSwitchCase() {
+			delete(mut.Tables, name)
+			break
+		}
+	}
+	l := vetProgram(prog, mut, pm)
+	if !l.HasErrors() {
+		t.Fatal("rewrite that lost a table vetted clean")
+	}
+}
+
+func TestDeployGateFillsReport(t *testing.T) {
+	prog := aclProgram(t)
+	rt, _, _ := newRig(t, prog, opt.DefaultConfig())
+
+	mut := prog.Clone()
+	for name := range mut.Tables {
+		if name != mut.Root {
+			delete(mut.Tables, name)
+			break
+		}
+	}
+	var report RoundReport
+	if rt.deployGate(mut, &report) {
+		t.Fatal("deploy gate passed a broken candidate")
+	}
+	if !strings.Contains(report.DeployError, "blocked by static analysis") {
+		t.Errorf("DeployError = %q, want static-analysis block", report.DeployError)
+	}
+	if len(report.Diagnostics) == 0 {
+		t.Error("round report carries no diagnostics")
+	}
+
+	// And a clean candidate sails through without residue.
+	var clean RoundReport
+	if !rt.deployGate(prog, &clean) {
+		t.Fatalf("deploy gate blocked the unchanged program: %v", clean.DeployError)
+	}
+	if clean.DeployError != "" {
+		t.Errorf("clean deploy left DeployError = %q", clean.DeployError)
+	}
+}

@@ -26,9 +26,12 @@ func regularTable(name, field string, nPrims, nEntries int, seed uint64) p4ir.Ta
 		Actions:       []*p4ir.Action{p4ir.NewAction("apply", prims...), p4ir.NoopAction("pass")},
 		DefaultAction: "pass",
 	}
+	// Entry values must fit the key's field width (a 16-bit draw on the
+	// 8-bit tos field could never match; PL104 flags it).
+	full := ts.Keys[0].FullMask()
 	for i := 0; i < nEntries; i++ {
 		ts.Entries = append(ts.Entries, p4ir.Entry{
-			Match:  []p4ir.MatchValue{{Value: uint64(rng.Intn(1 << 16))}},
+			Match:  []p4ir.MatchValue{{Value: uint64(rng.Intn(1<<16)) & full}},
 			Action: "apply",
 		})
 	}

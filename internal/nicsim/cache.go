@@ -33,7 +33,12 @@ type tokenBucket struct {
 }
 
 func newTokenBucket(rate float64) *tokenBucket {
-	return &tokenBucket{rate: rate, burst: rate, tokens: rate, last: time.Now()}
+	// The epoch anchors the bucket without consulting the wall clock: the
+	// emulator feeds a deterministic virtual time into allow(), and any
+	// wall-clock read here would make record/replay sessions diverge.
+	// (The zero time.Time would overflow now.Sub(last) — ~292-year
+	// time.Duration limit — so the Unix epoch is the anchor.)
+	return &tokenBucket{rate: rate, burst: rate, tokens: rate, last: time.Unix(0, 0)}
 }
 
 // allow consumes one token if available at time now.

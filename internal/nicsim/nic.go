@@ -112,6 +112,12 @@ type NIC struct {
 	updateCounts map[string]uint64
 	processed    atomic.Uint64
 	droppedCnt   atomic.Uint64
+
+	// vnow is the NIC's virtual clock in nanoseconds since the Unix
+	// epoch, advanced by each packet's modeled latency. It feeds the
+	// cache insertion rate limiters instead of the wall clock, keeping
+	// the emulator deterministic under record/replay.
+	vnow atomic.Int64
 }
 
 // procCtx is the reusable per-call scratch state of Process. Pooled so
@@ -486,7 +492,16 @@ func (n *NIC) run(pl *execPlan, ctx *procCtx, pkt *packet.Packet) Result {
 	// bandwidth; the cost is charged once per packet (inserts into
 	// multiple caches are pipelined by the hardware update engine).
 	if len(ctx.fills) > 0 {
-		now := time.Now()
+		// Virtual time: advance the NIC clock by this packet's modeled
+		// latency (at least 1 ns so it is strictly monotonic) and stamp
+		// the fills with it. Rate limiting then depends only on the
+		// simulated workload, not on the host's wall clock — a replayed
+		// trace reproduces the exact same insert/reject sequence.
+		tick := int64(lat)
+		if tick < 1 {
+			tick = 1
+		}
+		now := time.Unix(0, n.vnow.Add(tick))
 		filled := false
 		for fi := range ctx.fills {
 			f := &ctx.fills[fi]

@@ -38,7 +38,9 @@ func (ev *Evaluator) ScoreOption(o *Option) float64 {
 // Options score independently (the evaluator is read-only after
 // construction), so scoring fans out over cfg.SearchWorkers; the per-option
 // scores are collected by index and summed serially, keeping the result
-// bit-identical to a serial run.
+// bit-identical to a serial run. Options whose rewrite no longer passes
+// VerifyOption against the current program contribute no gain, so a stale
+// plan that became unsound is never re-selected on its old merits.
 func ReScore(prog *p4ir.Program, prof *profile.Profile, pm costmodel.Params, cfg Config, plan []*Option) float64 {
 	if len(plan) == 0 {
 		return 0
@@ -46,6 +48,9 @@ func ReScore(prog *p4ir.Program, prof *profile.Profile, pm costmodel.Params, cfg
 	ev := NewEvaluator(prog, prof, pm, cfg)
 	scores := make([]float64, len(plan))
 	runIndexed(len(plan), cfg.searchWorkers(), func(i int) {
+		if !VerifyOption(prog, plan[i], cfg) {
+			return
+		}
 		scores[i] = ev.ScoreOption(plan[i])
 	})
 	var total float64

@@ -1,11 +1,14 @@
 package opt
 
 import (
+	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"pipeleon/internal/analysis"
 	"pipeleon/internal/costmodel"
 	"pipeleon/internal/p4ir"
 	"pipeleon/internal/pipelet"
@@ -163,10 +166,38 @@ func Search(prog *p4ir.Program, prof *profile.Profile, pm costmodel.Params, cfg 
 		}
 	}
 
-	res.Plan = GlobalOptimize(res.Units, cfg.MemoryBudget, cfg.UpdateBudget, cfg)
+	res.Plan = verifyPlan(prog, GlobalOptimize(res.Units, cfg.MemoryBudget, cfg.UpdateBudget, cfg), cfg)
 	res.Gain = PlanGain(res.Plan)
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// VerifyOption applies one option in isolation and reports whether the
+// resulting rewrite provably preserves the original program's dependency
+// structure (analysis.VerifyRewrite). Candidate enumeration already gates
+// on the deps-level legality rules, so a false result means an unsound
+// candidate slipped through a heuristic (e.g. a group cache spanning
+// chained diamonds with a cross-member dependency) and must not reach a
+// device.
+func VerifyOption(prog *p4ir.Program, o *Option, cfg Config) bool {
+	rw, err := Apply(prog, []*Option{o}, cfg)
+	if err != nil {
+		return false
+	}
+	return !analysis.VerifyRewrite(prog, rw.Program).HasErrors()
+}
+
+// verifyPlan discards the selected options that fail VerifyOption. Plan
+// options belong to disjoint units, so verifying them in isolation is
+// exact.
+func verifyPlan(prog *p4ir.Program, plan []*Option, cfg Config) []*Option {
+	out := make([]*Option, 0, len(plan))
+	for _, o := range plan {
+		if VerifyOption(prog, o, cfg) {
+			out = append(out, o)
+		}
+	}
+	return out
 }
 
 // SearchAndApply runs Search and, when the plan is non-empty, applies it.
@@ -182,6 +213,12 @@ func SearchAndApply(prog *p4ir.Program, prof *profile.Profile, pm costmodel.Para
 	rw, err := Apply(prog, res.Plan, cfg)
 	if err != nil {
 		return res, nil, err
+	}
+	// Belt and braces: the plan options verified individually; prove the
+	// jointly applied program too before handing it to a deploy path.
+	if d := analysis.VerifyRewrite(prog, rw.Program); d.HasErrors() {
+		return res, nil, fmt.Errorf("opt: optimized program fails rewrite verification: %s",
+			strings.Join(d.Errors().Strings(), "; "))
 	}
 	return res, rw, nil
 }

@@ -3,9 +3,14 @@ package p4ir
 import (
 	"errors"
 	"fmt"
+	"strings"
+
+	"pipeleon/internal/diag"
 )
 
-// Validation errors.
+// Validation errors. These are matchable sentinels: a non-nil Validate
+// result wraps one sentinel per diagnostic, so errors.Is keeps working
+// even though the error now aggregates every violation.
 var (
 	ErrNoRoot        = errors.New("p4ir: program has no root")
 	ErrDanglingRef   = errors.New("p4ir: dangling node reference")
@@ -16,69 +21,54 @@ var (
 	ErrBadActionNext = errors.New("p4ir: switch-case references unknown action")
 )
 
-// Validate checks structural well-formedness of the program:
-//
-//   - a root exists and names a real node,
-//   - every successor reference resolves ("" means sink),
-//   - the reachable graph is acyclic (run-to-completion programs are DAGs),
-//   - every table's default action and switch-case action labels exist,
-//   - every entry's match arity equals the key arity and its action exists,
-//   - no name is both a table and a conditional.
+// codeSentinel maps structural rule codes to the legacy sentinel errors.
+var codeSentinel = map[string]error{
+	CodeNoRoot:        ErrNoRoot,
+	CodeDanglingRef:   ErrDanglingRef,
+	CodeCycle:         ErrCycle,
+	CodeBadDefault:    ErrBadDefault,
+	CodeDupNode:       ErrDupNode,
+	CodeBadEntry:      ErrBadEntry,
+	CodeBadActionNext: ErrBadActionNext,
+}
+
+// ValidationError aggregates every structural diagnostic of a program.
+// It unwraps to one error per diagnostic, each wrapping the matching
+// sentinel, so errors.Is(err, ErrDanglingRef) etc. behave as before.
+type ValidationError struct {
+	Diags diag.List
+}
+
+// Error joins all diagnostic messages.
+func (e *ValidationError) Error() string {
+	msgs := make([]string, len(e.Diags))
+	for i, d := range e.Diags {
+		msgs[i] = d.String()
+	}
+	return "p4ir: invalid program: " + strings.Join(msgs, "; ")
+}
+
+// Unwrap exposes one sentinel-wrapping error per diagnostic.
+func (e *ValidationError) Unwrap() []error {
+	out := make([]error, 0, len(e.Diags))
+	for _, d := range e.Diags {
+		if sent, ok := codeSentinel[d.Code]; ok {
+			out = append(out, fmt.Errorf("%w: %s", sent, d.Message))
+		} else {
+			out = append(out, errors.New(d.String()))
+		}
+	}
+	return out
+}
+
+// Validate checks structural well-formedness of the program (see
+// StructuralDiagnostics for the invariant list). It is now a thin wrapper
+// over the collect-all analyzer: callers receive every violation in one
+// pass via a *ValidationError, not just the first.
 func (p *Program) Validate() error {
-	if p.Root == "" {
-		if p.NumNodes() == 0 {
-			return nil // empty program is trivially valid
-		}
-		return ErrNoRoot
+	diags := p.StructuralDiagnostics()
+	if len(diags) == 0 {
+		return nil
 	}
-	if !p.Has(p.Root) {
-		return fmt.Errorf("%w: root %q", ErrDanglingRef, p.Root)
-	}
-	for name := range p.Tables {
-		if _, dup := p.Conds[name]; dup {
-			return fmt.Errorf("%w: %q", ErrDupNode, name)
-		}
-	}
-	for name, t := range p.Tables {
-		if t.Name != name {
-			return fmt.Errorf("p4ir: table map key %q != table name %q", name, t.Name)
-		}
-		if t.DefaultAction != "" && t.Action(t.DefaultAction) == nil {
-			return fmt.Errorf("%w: table %q default %q", ErrBadDefault, name, t.DefaultAction)
-		}
-		for act, nxt := range t.ActionNext {
-			if t.Action(act) == nil {
-				return fmt.Errorf("%w: table %q action %q", ErrBadActionNext, name, act)
-			}
-			if nxt != "" && !p.Has(nxt) {
-				return fmt.Errorf("%w: table %q -> %q", ErrDanglingRef, name, nxt)
-			}
-		}
-		if t.BaseNext != "" && !p.Has(t.BaseNext) {
-			return fmt.Errorf("%w: table %q -> %q", ErrDanglingRef, name, t.BaseNext)
-		}
-		for i, e := range t.Entries {
-			if len(e.Match) != len(t.Keys) {
-				return fmt.Errorf("%w: table %q entry %d has %d match values for %d keys",
-					ErrBadEntry, name, i, len(e.Match), len(t.Keys))
-			}
-			if t.Action(e.Action) == nil {
-				return fmt.Errorf("%w: table %q entry %d action %q", ErrBadEntry, name, i, e.Action)
-			}
-		}
-	}
-	for name, c := range p.Conds {
-		if c.Name != name {
-			return fmt.Errorf("p4ir: conditional map key %q != name %q", name, c.Name)
-		}
-		for _, nxt := range []string{c.TrueNext, c.FalseNext} {
-			if nxt != "" && !p.Has(nxt) {
-				return fmt.Errorf("%w: conditional %q -> %q", ErrDanglingRef, name, nxt)
-			}
-		}
-	}
-	if _, err := p.TopoOrder(); err != nil {
-		return fmt.Errorf("%w: %v", ErrCycle, err)
-	}
-	return nil
+	return &ValidationError{Diags: diags}
 }

@@ -270,7 +270,6 @@ func entryCount(spec ProgramSpec, rng *stats.RNG) int {
 // using the paper's benchmarking defaults: 3 distinct prefixes for LPM
 // tables and 5 distinct masks for ternary tables (§3.1).
 func syntheticEntries(rng *stats.RNG, ts p4ir.TableSpec, n int) []p4ir.Entry {
-	var lpmPrefixes = []int{8, 16, 24}
 	entries := make([]p4ir.Entry, 0, n)
 	for i := 0; i < n; i++ {
 		e := p4ir.Entry{Action: "act_main"}
@@ -278,7 +277,12 @@ func syntheticEntries(rng *stats.RNG, ts p4ir.TableSpec, n int) []p4ir.Entry {
 			mv := p4ir.MatchValue{Value: uint64(rng.Intn(1 << min(k.BitWidth(), 20)))}
 			switch k.Kind {
 			case p4ir.MatchLPM:
-				mv.PrefixLen = lpmPrefixes[i%len(lpmPrefixes)]
+				// Three distinct prefixes at 1/4, 1/2, and 3/4 of the key
+				// width (8/16/24 on a 32-bit address) — a prefix must never
+				// exceed the key itself (a /24 on a 16-bit port field is
+				// malformed; PL104 flags it).
+				w := k.BitWidth()
+				mv.PrefixLen = (1 + i%3) * w / 4
 				mv.Value &= k.PrefixMask(mv.PrefixLen)
 			case p4ir.MatchTernary, p4ir.MatchRange:
 				shift := (i % 5) * 2

@@ -31,7 +31,9 @@ import (
 	"os"
 	"strings"
 
+	"pipeleon/internal/analysis"
 	"pipeleon/internal/costmodel"
+	"pipeleon/internal/diag"
 	"pipeleon/internal/opt"
 	"pipeleon/internal/p4c"
 	"pipeleon/internal/p4ir"
@@ -166,6 +168,35 @@ func PlanMemoryTiers(prog *Program, prof *Profile, target Target) TierPlan {
 // ApplyMemoryTiers returns a copy of prog with the plan's tables pinned.
 func ApplyMemoryTiers(prog *Program, plan TierPlan) *Program {
 	return opt.ApplyMemoryTiers(prog, plan)
+}
+
+// Diagnostic is one static-analysis finding, with a stable rule code, a
+// warn/error severity, and node/field position.
+type Diagnostic = diag.Diagnostic
+
+// Diagnostics is an ordered collection of findings.
+type Diagnostics = diag.List
+
+// Lint runs the static analyzer over a program: structural invariants
+// (P4Sxx), semantic rules (PL1xx — unreachable nodes, uninitialized
+// metadata reads, dead primitives, entry width mismatches, memory-tier
+// overcommit, unsound cache specs). Pass the deployment target to enable
+// the cost-model-dependent rules. The runtime and the control-plane deploy
+// op apply the same rules and refuse programs with Error diagnostics.
+func Lint(prog *Program, target ...Target) Diagnostics {
+	var opts []analysis.Option
+	if len(target) > 0 {
+		opts = append(opts, analysis.WithParams(target[0]))
+	}
+	return analysis.Lint(prog, opts...)
+}
+
+// VerifyRewrite proves that opt preserves every dependency ordering of
+// orig modulo the declared rewrites (caching, merging, memory tiers) —
+// the RWxxx rule family. An empty result (no Error diagnostics) means the
+// transformation is safe to deploy.
+func VerifyRewrite(orig, opt *Program) Diagnostics {
+	return analysis.VerifyRewrite(orig, opt)
 }
 
 // Optimize runs one search-and-rewrite round against a program, profile,
