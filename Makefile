@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fmtcheck lint ci verify conformance traces bench
+.PHONY: build test vet race fmtcheck lint ci verify conformance traces bench benchcheck fuzz
 
 build:
 	$(GO) build ./...
@@ -27,12 +27,26 @@ lint:
 	$(GO) run ./cmd/archlint .
 	$(GO) run ./cmd/p4lint -q testdata/dash.p4 testdata/traces/bluefield2.json testdata/traces/agiliocx.json
 
+# fuzz gives every native fuzz target a short budget of engine time on
+# top of the checked-in seed corpora (which `go test` already replays as
+# regular cases). Go allows one -fuzz pattern per invocation, hence one
+# line per target. FUZZTIME=5m for a longer local campaign.
+FUZZTIME ?= 5s
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzCompile$$' -fuzztime $(FUZZTIME) ./internal/p4c/
+	$(GO) test -run '^$$' -fuzz '^FuzzLexer$$' -fuzztime $(FUZZTIME) ./internal/p4c/
+	$(GO) test -run '^$$' -fuzz '^FuzzLoadValidate$$' -fuzztime $(FUZZTIME) ./internal/p4ir/
+	$(GO) test -run '^$$' -fuzz '^FuzzPlanCompileProcess$$' -fuzztime $(FUZZTIME) ./internal/nicsim/
+	$(GO) test -run '^$$' -fuzz '^FuzzSPSCOps$$' -fuzztime $(FUZZTIME) ./internal/ring/
+
 # ci is the full continuous-integration chain: formatting, static checks,
-# compile, and the complete suite under the race detector.
+# compile, the complete suite under the race detector, and a short fuzz
+# pass over every native fuzz target.
 ci: fmtcheck lint
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(MAKE) fuzz
 
 # conformance runs the target-backend conformance suite (local emulator,
 # loopback remote, record/replay) plus the golden-trace round trips.
@@ -43,11 +57,13 @@ conformance:
 # verify is the pre-merge gate: compile everything, vet, run the full
 # suite under the race detector (the runtime loop, control plane, and
 # fault-injection paths are concurrent), then the backend conformance
-# suite explicitly.
+# suite explicitly, then the bench-regression gate against the archived
+# baseline.
 verify:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
 	$(MAKE) lint
 	$(MAKE) conformance
+	$(MAKE) benchcheck
 
 # traces regenerates the golden replay traces consumed by the core replay
 # round-trip tests and `pipeleon -trace`.
@@ -63,3 +79,18 @@ bench:
 	$(GO) test -run '^$$' \
 		-bench 'BenchmarkEmulatorProcess|BenchmarkMeasureParallel|BenchmarkSearch$$|BenchmarkFig12' \
 		-benchmem . | $(GO) run ./cmd/benchjson -out BENCH_emulator.json
+
+# benchcheck is the bench-regression gate: rerun the hot-path bench set
+# (-count=3; the gate compares best-of-3 per metric) and fail (exit
+# nonzero) if a gated benchmark regressed more than MAXREGRESS in ns/op
+# — or grew allocs/op — versus the committed BENCH_emulator.json
+# baseline. The -gate regexp excludes the multi-worker MeasureParallel
+# entries: at GOMAXPROCS=1 those measure scheduler contention, not the
+# datapath, and swing well past any sane threshold run to run. Refresh
+# the baseline with `make bench` after intentional performance changes.
+MAXREGRESS ?= 0.15
+benchcheck:
+	$(GO) test -run '^$$' -count=3 \
+		-bench 'BenchmarkEmulatorProcess|BenchmarkMeasureParallel|BenchmarkSearch$$|BenchmarkFig12' \
+		-benchmem . | $(GO) run ./cmd/benchjson -compare BENCH_emulator.json -max-regress $(MAXREGRESS) \
+		-gate 'Fig12|EmulatorProcess|MeasureParallel/workers=1$$|Search$$'

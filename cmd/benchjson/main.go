@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -51,6 +52,9 @@ type Doc struct {
 
 func main() {
 	out := flag.String("out", "", "output JSON file (default: stdout only)")
+	compare := flag.String("compare", "", "baseline JSON file; exit nonzero on regression against it")
+	maxRegress := flag.Float64("max-regress", 0.15, "allowed fractional ns/op growth vs the -compare baseline")
+	gate := flag.String("gate", "", "regexp restricting which benchmarks the -compare gate checks (default: all)")
 	flag.Parse()
 
 	doc, err := parse(os.Stdin, os.Stdout)
@@ -66,13 +70,116 @@ func main() {
 	}
 	if *out == "" {
 		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+	}
+
+	if *compare == "" {
 		return
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	base, err := readDoc(*compare)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading baseline: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+	var re *regexp.Regexp
+	if *gate != "" {
+		re, err = regexp.Compile(*gate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -gate regexp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	violations := compareDocs(&base, &doc, *maxRegress, re)
+	if len(violations) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no regressions vs %s (max-regress %.0f%%)\n", *compare, *maxRegress*100)
+		return
+	}
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "benchjson: REGRESSION: %s\n", v)
+	}
+	os.Exit(1)
+}
+
+// readDoc loads an archived benchmark document written by -out.
+func readDoc(path string) (Doc, error) {
+	var d Doc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return d, err
+	}
+	if err := json.Unmarshal(data, &d); err != nil {
+		return d, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+// compareDocs is the bench-regression gate: for every baseline benchmark
+// (matching gate, when non-nil) it demands the new run be present, within
+// maxRegress fractional ns/op growth, and with no allocs/op growth
+// (beyond 0.1% + 0.5 of slack, so 0->1 and 2->3 on a hot path fail while
+// a +-1 rounding wobble on a 45k-alloc macro-benchmark does not). When a
+// run repeats a benchmark (-count=N), the best value per metric is
+// compared — the standard defense against scheduler noise on shared
+// runners. A benchmark that vanished counts as a violation so the gate
+// cannot be dodged by renaming. New benchmarks absent from the baseline
+// pass freely.
+func compareDocs(base, cur *Doc, maxRegress float64, gate *regexp.Regexp) []string {
+	// Per-name minimum of each metric across repeated runs, for both
+	// sides (a -count=N baseline gets the same treatment).
+	best := func(d *Doc) map[string]map[string]float64 {
+		m := make(map[string]map[string]float64, len(d.Benchmarks))
+		for _, b := range d.Benchmarks {
+			mm := m[b.Name]
+			if mm == nil {
+				mm = map[string]float64{}
+				m[b.Name] = mm
+			}
+			for unit, v := range b.Metrics {
+				if prev, ok := mm[unit]; !ok || v < prev {
+					mm[unit] = v
+				}
+			}
+		}
+		return m
+	}
+	baseBest, curBest := best(base), best(cur)
+
+	var violations []string
+	seen := make(map[string]bool, len(base.Benchmarks))
+	for _, old := range base.Benchmarks {
+		if seen[old.Name] || (gate != nil && !gate.MatchString(old.Name)) {
+			continue
+		}
+		seen[old.Name] = true
+		now, ok := curBest[old.Name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: present in baseline but missing from this run", old.Name))
+			continue
+		}
+		ref := baseBest[old.Name]
+		if oldNs, ok := ref["ns/op"]; ok && oldNs > 0 {
+			if newNs, ok := now["ns/op"]; ok {
+				if growth := newNs/oldNs - 1; growth > maxRegress {
+					violations = append(violations, fmt.Sprintf(
+						"%s: ns/op %.4g -> %.4g (+%.1f%%, limit +%.0f%%)",
+						old.Name, oldNs, newNs, growth*100, maxRegress*100))
+				}
+			}
+		}
+		if oldAllocs, ok := ref["allocs/op"]; ok {
+			if newAllocs, ok := now["allocs/op"]; ok && newAllocs > oldAllocs*1.001+0.5 {
+				violations = append(violations, fmt.Sprintf(
+					"%s: allocs/op grew %g -> %g",
+					old.Name, oldAllocs, newAllocs))
+			}
+		}
+	}
+	return violations
 }
 
 // parse reads `go test -bench` text from r, echoing every line to echo
@@ -138,7 +245,11 @@ func parseLine(line string) (Bench, bool) {
 }
 
 // stripProcs removes the trailing -GOMAXPROCS suffix Go appends to
-// benchmark names (Benchmark/sub-8 -> Benchmark/sub).
+// benchmark names (Benchmark/sub-8 -> Benchmark/sub). On a single-CPU
+// runner Go omits the suffix entirely, so a sub-benchmark whose own name
+// ends in "-<digits>" (e.g. "workers-8") would be eaten here and collapse
+// with its siblings; parameterized sub-benchmarks therefore use "=" in
+// their names ("workers=8"), which survives stripping in both forms.
 func stripProcs(name string) string {
 	i := strings.LastIndex(name, "-")
 	if i < 0 {

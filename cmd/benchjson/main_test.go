@@ -5,6 +5,8 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strings"
 	"testing"
 )
 
@@ -76,10 +78,143 @@ func TestStripProcs(t *testing.T) {
 		"BenchmarkMeasureParallel/workers-8":   "BenchmarkMeasureParallel/workers",
 		"BenchmarkPlain":                       "BenchmarkPlain",
 		"BenchmarkMeasureParallel/workers-8-8": "BenchmarkMeasureParallel/workers-8",
+		// The "=" convention keeps parameterized sub-benchmarks distinct in
+		// both forms go emits: with the -GOMAXPROCS suffix (multi-CPU) and
+		// without it (GOMAXPROCS=1, where a "-N" ending would be eaten).
+		"BenchmarkMeasureParallel/workers=8-8": "BenchmarkMeasureParallel/workers=8",
+		"BenchmarkMeasureParallel/workers=4":   "BenchmarkMeasureParallel/workers=4",
 	}
 	for in, want := range cases {
 		if got := stripProcs(in); got != want {
 			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
 		}
 	}
+}
+
+func bench(name string, metrics map[string]float64) Bench {
+	return Bench{Name: name, Iterations: 100, Metrics: metrics}
+}
+
+// TestCompareDocs pins the regression-gate semantics: >max-regress ns/op
+// growth fails, any allocs/op growth fails, vanished benchmarks fail, new
+// benchmarks and improvements pass, and -gate restricts the checked set.
+func TestCompareDocs(t *testing.T) {
+	base := Doc{Benchmarks: []Bench{
+		bench("BenchmarkEmulatorProcessBurst", map[string]float64{"ns/op": 170, "allocs/op": 0}),
+		bench("BenchmarkMeasureParallel/workers=1", map[string]float64{"ns/op": 1000, "pkts/s": 5.5e6}),
+		bench("BenchmarkSwap", map[string]float64{"ns/op": 240000}),
+	}}
+
+	t.Run("identical run passes", func(t *testing.T) {
+		if v := compareDocs(&base, &base, 0.15, nil); len(v) != 0 {
+			t.Errorf("identical docs flagged: %v", v)
+		}
+	})
+
+	t.Run("ns/op within threshold passes", func(t *testing.T) {
+		cur := Doc{Benchmarks: []Bench{
+			bench("BenchmarkEmulatorProcessBurst", map[string]float64{"ns/op": 170 * 1.10, "allocs/op": 0}),
+			bench("BenchmarkMeasureParallel/workers=1", map[string]float64{"ns/op": 900}),
+			bench("BenchmarkSwap", map[string]float64{"ns/op": 240000}),
+		}}
+		if v := compareDocs(&base, &cur, 0.15, nil); len(v) != 0 {
+			t.Errorf("10%% growth flagged at 15%% threshold: %v", v)
+		}
+	})
+
+	t.Run("ns/op regression fails", func(t *testing.T) {
+		cur := Doc{Benchmarks: []Bench{
+			bench("BenchmarkEmulatorProcessBurst", map[string]float64{"ns/op": 170 * 1.30, "allocs/op": 0}),
+			bench("BenchmarkMeasureParallel/workers=1", map[string]float64{"ns/op": 1000}),
+			bench("BenchmarkSwap", map[string]float64{"ns/op": 240000}),
+		}}
+		v := compareDocs(&base, &cur, 0.15, nil)
+		if len(v) != 1 || !strings.Contains(v[0], "ns/op") {
+			t.Errorf("30%% growth not flagged exactly once: %v", v)
+		}
+	})
+
+	t.Run("allocs growth fails even when faster", func(t *testing.T) {
+		cur := Doc{Benchmarks: []Bench{
+			bench("BenchmarkEmulatorProcessBurst", map[string]float64{"ns/op": 150, "allocs/op": 1}),
+			bench("BenchmarkMeasureParallel/workers=1", map[string]float64{"ns/op": 1000}),
+			bench("BenchmarkSwap", map[string]float64{"ns/op": 240000}),
+		}}
+		v := compareDocs(&base, &cur, 0.15, nil)
+		if len(v) != 1 || !strings.Contains(v[0], "allocs/op") {
+			t.Errorf("allocs growth not flagged exactly once: %v", v)
+		}
+	})
+
+	t.Run("alloc rounding wobble on macro benches passes", func(t *testing.T) {
+		big := Doc{Benchmarks: []Bench{
+			bench("BenchmarkFig12a", map[string]float64{"ns/op": 2e7, "allocs/op": 45800}),
+		}}
+		cur := Doc{Benchmarks: []Bench{
+			bench("BenchmarkFig12a", map[string]float64{"ns/op": 2e7, "allocs/op": 45801}),
+		}}
+		if v := compareDocs(&big, &cur, 0.15, nil); len(v) != 0 {
+			t.Errorf("+-1 alloc wobble on a 45k-alloc bench flagged: %v", v)
+		}
+		cur.Benchmarks[0].Metrics["allocs/op"] = 45800 * 1.01
+		if v := compareDocs(&big, &cur, 0.15, nil); len(v) != 1 {
+			t.Errorf("1%% alloc growth not flagged: %v", v)
+		}
+	})
+
+	t.Run("repeated runs compare best-of-N", func(t *testing.T) {
+		cur := Doc{Benchmarks: []Bench{
+			// -count=3: one noisy outlier, one clean run, one middling.
+			bench("BenchmarkEmulatorProcessBurst", map[string]float64{"ns/op": 170 * 1.40, "allocs/op": 0}),
+			bench("BenchmarkEmulatorProcessBurst", map[string]float64{"ns/op": 168, "allocs/op": 0}),
+			bench("BenchmarkEmulatorProcessBurst", map[string]float64{"ns/op": 170 * 1.10, "allocs/op": 0}),
+			bench("BenchmarkMeasureParallel/workers=1", map[string]float64{"ns/op": 1000}),
+			bench("BenchmarkSwap", map[string]float64{"ns/op": 240000}),
+		}}
+		if v := compareDocs(&base, &cur, 0.15, nil); len(v) != 0 {
+			t.Errorf("best-of-3 within threshold flagged: %v", v)
+		}
+		// All three repeats regressed: now it is real.
+		for i := 0; i < 3; i++ {
+			cur.Benchmarks[i].Metrics["ns/op"] = 170 * 1.30
+		}
+		if v := compareDocs(&base, &cur, 0.15, nil); len(v) != 1 {
+			t.Errorf("consistent regression across repeats not flagged exactly once: %v", v)
+		}
+	})
+
+	t.Run("vanished benchmark fails", func(t *testing.T) {
+		cur := Doc{Benchmarks: []Bench{
+			bench("BenchmarkEmulatorProcessBurst", map[string]float64{"ns/op": 170, "allocs/op": 0}),
+			bench("BenchmarkSwap", map[string]float64{"ns/op": 240000}),
+		}}
+		v := compareDocs(&base, &cur, 0.15, nil)
+		if len(v) != 1 || !strings.Contains(v[0], "missing") {
+			t.Errorf("vanished benchmark not flagged: %v", v)
+		}
+	})
+
+	t.Run("new benchmark passes freely", func(t *testing.T) {
+		cur := Doc{Benchmarks: append([]Bench{
+			bench("BenchmarkBrandNew", map[string]float64{"ns/op": 1e9}),
+		}, base.Benchmarks...)}
+		if v := compareDocs(&base, &cur, 0.15, nil); len(v) != 0 {
+			t.Errorf("new benchmark flagged: %v", v)
+		}
+	})
+
+	t.Run("gate regexp restricts the checked set", func(t *testing.T) {
+		cur := Doc{Benchmarks: []Bench{
+			bench("BenchmarkEmulatorProcessBurst", map[string]float64{"ns/op": 170, "allocs/op": 0}),
+			bench("BenchmarkMeasureParallel/workers=1", map[string]float64{"ns/op": 1000}),
+			bench("BenchmarkSwap", map[string]float64{"ns/op": 240000 * 10}),
+		}}
+		re := regexp.MustCompile(`^Benchmark(EmulatorProcess|MeasureParallel)`)
+		if v := compareDocs(&base, &cur, 0.15, re); len(v) != 0 {
+			t.Errorf("ungated benchmark flagged despite -gate: %v", v)
+		}
+		if v := compareDocs(&base, &cur, 0.15, nil); len(v) != 1 {
+			t.Errorf("expected the Swap regression without -gate: %v", v)
+		}
+	})
 }

@@ -355,8 +355,8 @@ func (r *Runtime) OptimizeOnce(window time.Duration) (RoundReport, error) {
 				// measuring it against the warm incumbent would veto
 				// every cache plan.
 				var merr error
-				_, _ = r.tgt.Measure(sample)
-				preM, merr = r.tgt.Measure(sample)
+				_, _ = r.measureSample(sample)
+				preM, merr = r.measureSample(sample)
 				if merr != nil {
 					// No usable baseline — deploy unverified rather than
 					// veto the plan on a measurement failure.
@@ -375,8 +375,8 @@ func (r *Runtime) OptimizeOnce(window time.Duration) (RoundReport, error) {
 		r.activePlan = nextPlan
 		report.Deployed = true
 		if verifying {
-			_, _ = r.tgt.Measure(sample) // warm the fresh program's caches
-			postM, merr := r.tgt.Measure(sample)
+			_, _ = r.measureSample(sample) // warm the fresh program's caches
+			postM, merr := r.measureSample(sample)
 			contradicted := false
 			if merr != nil {
 				// Can't confirm the deploy helped — fail safe and restore
@@ -504,6 +504,20 @@ func costsChanged(old, new map[string]float64, threshold float64) bool {
 		}
 	}
 	return false
+}
+
+// measureSample runs one verification measurement over the sample. With
+// cfg.MeasureWorkers > 1 and a target that supports batch measurement
+// (the emulator's ring-fed worker pool), the batch fans out across that
+// many cores; otherwise — the default — it measures serially, which keeps
+// recorded replay traces byte-stable.
+func (r *Runtime) measureSample(sample []*packet.Packet) (target.Measurement, error) {
+	if r.cfg.MeasureWorkers > 1 {
+		if bm, ok := r.tgt.(target.BatchMeasurer); ok {
+			return bm.MeasureParallel(sample, r.cfg.MeasureWorkers)
+		}
+	}
+	return r.tgt.Measure(sample)
 }
 
 func samePrograms(a, b *p4ir.Program) bool {

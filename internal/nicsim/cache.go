@@ -6,12 +6,14 @@ import (
 	"time"
 
 	"pipeleon/internal/p4ir"
+	"pipeleon/internal/packet"
 )
 
 // fieldWrite is one header-field assignment recorded while a cache-filling
-// packet traverses the covered tables.
+// packet traverses the covered tables. Fields are stored as compiled IDs
+// so replaying a cached result is a few integer-indexed stores.
 type fieldWrite struct {
-	field string
+	id    packet.FieldID
 	value uint64
 }
 

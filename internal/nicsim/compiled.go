@@ -11,7 +11,9 @@ import (
 // Compiled action primitives: operand strings ("$0", "ipv4.ttl", "0x2a")
 // are classified and parsed once, at table-build time, so executing an
 // action on the per-packet path is a switch over pre-resolved operands
-// with no string parsing and no allocation.
+// with no string parsing and no allocation. Field references compile to
+// packet.FieldID, so reads and writes are integer-dispatched instead of
+// string-switched.
 
 type operandKind uint8
 
@@ -22,11 +24,14 @@ const (
 )
 
 type operand struct {
-	kind  operandKind
-	lit   uint64
-	field string
-	arg   int
+	kind operandKind
+	lit  uint64
+	fid  packet.FieldID
+	arg  int
 }
+
+// egressPortID is the compiled ID of the forward primitive's destination.
+var egressPortID = packet.FieldIDFor("meta.egress_port")
 
 // compileOperand classifies one primitive operand. Unparseable literals
 // resolve to 0, matching the lenient behaviour of the former resolveArg.
@@ -38,7 +43,7 @@ func compileOperand(arg string) operand {
 		return operand{kind: opLit}
 	}
 	if p4ir.IsFieldRef(arg) {
-		return operand{kind: opField, field: arg}
+		return operand{kind: opField, fid: packet.FieldIDFor(arg)}
 	}
 	v, _ := strconv.ParseUint(arg, 0, 64)
 	return operand{kind: opLit, lit: v}
@@ -46,14 +51,14 @@ func compileOperand(arg string) operand {
 
 // value evaluates the operand against the packet and the matched entry's
 // pre-compiled action data. An out-of-range $i — or a $i whose entry arg
-// is itself a $ reference — yields 0, as resolveArg did.
+// is itself a $ reference — yields 0, as resolveArg did; so does an
+// unknown field reference (FieldInvalid reads as 0).
 func (o operand) value(pkt *packet.Packet, cargs []operand) uint64 {
 	switch o.kind {
 	case opLit:
 		return o.lit
 	case opField:
-		v, _ := pkt.Get(o.field)
-		return v
+		return pkt.GetID(o.fid)
 	default:
 		if o.arg >= len(cargs) {
 			return 0
@@ -79,8 +84,11 @@ const (
 
 type compiledPrim struct {
 	kind primKind
-	dst  string
-	a, b operand
+	// dstID is the compiled destination field (FieldInvalid when the
+	// destination is unknown: the write is dropped, matching the old
+	// behaviour of a failing pkt.Set).
+	dstID packet.FieldID
+	a, b  operand
 }
 
 // compiledAction is the executable form of a p4ir.Action.
@@ -101,21 +109,25 @@ func compileAction(act *p4ir.Action, idx int) *compiledAction {
 	ca := &compiledAction{act: act, idx: idx, isCacheMiss: act.Name == "cache_miss"}
 	ca.prims = make([]compiledPrim, len(act.Primitives))
 	for i, prim := range act.Primitives {
-		cp := compiledPrim{kind: prNop}
+		cp := compiledPrim{kind: prNop, dstID: packet.FieldInvalid}
 		switch prim.Op {
 		case "drop", "mark_to_drop":
 			cp.kind = prDrop
 		case "modify_field":
 			if len(prim.Args) >= 2 {
-				cp = compiledPrim{kind: prModify, dst: prim.Args[0], a: compileOperand(prim.Args[1])}
+				cp = compiledPrim{
+					kind:  prModify,
+					dstID: packet.FieldIDFor(prim.Args[0]),
+					a:     compileOperand(prim.Args[1]),
+				}
 			}
 		case "add", "subtract":
 			if len(prim.Args) >= 3 {
 				cp = compiledPrim{
-					kind: prAdd,
-					dst:  prim.Args[0],
-					a:    compileOperand(prim.Args[1]),
-					b:    compileOperand(prim.Args[2]),
+					kind:  prAdd,
+					dstID: packet.FieldIDFor(prim.Args[0]),
+					a:     compileOperand(prim.Args[1]),
+					b:     compileOperand(prim.Args[2]),
 				}
 				if prim.Op == "subtract" {
 					cp.kind = prSub
@@ -123,7 +135,7 @@ func compileAction(act *p4ir.Action, idx int) *compiledAction {
 			}
 		case "forward":
 			if len(prim.Args) >= 1 {
-				cp = compiledPrim{kind: prForward, a: compileOperand(prim.Args[0])}
+				cp = compiledPrim{kind: prForward, dstID: egressPortID, a: compileOperand(prim.Args[0])}
 			}
 		}
 		ca.prims[i] = cp
@@ -141,25 +153,33 @@ func (ca *compiledAction) apply(pkt *packet.Packet, cargs []operand, writes *[]f
 		case prDrop:
 			return true
 		case prModify:
+			if pr.dstID == packet.FieldInvalid {
+				continue
+			}
 			v := pr.a.value(pkt, cargs)
-			if err := pkt.Set(pr.dst, v); err == nil && writes != nil {
-				*writes = append(*writes, fieldWrite{field: pr.dst, value: v})
+			pkt.SetID(pr.dstID, v)
+			if writes != nil {
+				*writes = append(*writes, fieldWrite{id: pr.dstID, value: v})
 			}
 		case prAdd, prSub:
+			if pr.dstID == packet.FieldInvalid {
+				continue
+			}
 			a := pr.a.value(pkt, cargs)
 			b := pr.b.value(pkt, cargs)
 			v := a + b
 			if pr.kind == prSub {
 				v = a - b
 			}
-			if err := pkt.Set(pr.dst, v); err == nil && writes != nil {
-				*writes = append(*writes, fieldWrite{field: pr.dst, value: v})
+			pkt.SetID(pr.dstID, v)
+			if writes != nil {
+				*writes = append(*writes, fieldWrite{id: pr.dstID, value: v})
 			}
 		case prForward:
 			v := pr.a.value(pkt, cargs)
-			_ = pkt.Set("meta.egress_port", v)
+			pkt.SetID(pr.dstID, v)
 			if writes != nil {
-				*writes = append(*writes, fieldWrite{field: "meta.egress_port", value: v})
+				*writes = append(*writes, fieldWrite{id: pr.dstID, value: v})
 			}
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"pipeleon/internal/costmodel"
+	"pipeleon/internal/packet"
 	"pipeleon/internal/profile"
 	"pipeleon/internal/synth"
 	"pipeleon/internal/trafficgen"
@@ -64,6 +65,108 @@ func TestMeasureSerialParallelEquivalence(t *testing.T) {
 		pProc, pDrop := parallelNIC.Counters()
 		if sProc != pProc || sDrop != pDrop {
 			t.Errorf("trial %d: counters (%d,%d) != (%d,%d)", trial, sProc, sDrop, pProc, pDrop)
+		}
+	}
+}
+
+// TestBurstScalarEquivalenceProperty is the burst datapath's proof
+// obligation, swept across 120 synthesized programs (30 under -short):
+// every category, varying shapes, with the vendor cache and measurement
+// noise toggled across seeds.
+//
+// Part A pins ProcessBurst to Process packet by packet: same submission
+// order means the same virtual-clock order and the same cache evolution,
+// so every per-packet Result (minus Path, which the burst path skips) and
+// every final packet byte must match even for stateful programs. Part B
+// pins the ring-based MeasureParallel to serial Measure on cache-free
+// configurations, where profiling commutativity and per-index latency
+// slots make the aggregate bit-identical regardless of steering.
+func TestBurstScalarEquivalenceProperty(t *testing.T) {
+	seeds := 120
+	if testing.Short() {
+		seeds = 30
+	}
+	for i := 0; i < seeds; i++ {
+		seed := uint64(7000 + i*131)
+		cat := synth.Category(i % 4)
+		prog := synth.Program(synth.ProgramSpec{
+			Pipelets: 3 + i%4, AvgLen: float64(2 + i%2), Category: cat, Seed: seed,
+		})
+		noise := 0.0
+		if i%2 == 1 {
+			noise = 0.05
+		}
+		vendor := i%3 == 0
+
+		mkNIC := func(withVendor bool) (*NIC, *profile.Collector) {
+			col := profile.NewCollector()
+			nic, err := New(prog, Config{
+				Params:      costmodel.BlueField2(),
+				Collector:   col,
+				Instrument:  true,
+				Seed:        seed,
+				NoiseStdDev: noise,
+				VendorCache: withVendor,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return nic, col
+		}
+
+		gen := trafficgen.New(seed, 0)
+		gen.AddFlows(trafficgen.UniformFlows(seed+1, 64)...)
+		if i%2 == 0 {
+			gen.SetSkew(0.8)
+		}
+		pkts := gen.Batch(256)
+
+		// Part A: scalar Process vs ProcessBurst, packet by packet.
+		scalarNIC, scalarCol := mkNIC(vendor)
+		burstNIC, burstCol := mkNIC(vendor)
+		scalarPkts := make([]*packet.Packet, len(pkts))
+		burstPkts := make([]*packet.Packet, len(pkts))
+		for j, p := range pkts {
+			scalarPkts[j] = p.Clone()
+			burstPkts[j] = p.Clone()
+		}
+		scalarRes := make([]Result, len(pkts))
+		for j, p := range scalarPkts {
+			scalarRes[j] = scalarNIC.Process(p)
+		}
+		burstRes := make([]Result, len(pkts))
+		burstNIC.ProcessBurst(burstPkts, burstRes)
+		for j := range pkts {
+			s := scalarRes[j]
+			s.Path = nil // the burst path does not record Path
+			if !reflect.DeepEqual(s, burstRes[j]) {
+				t.Fatalf("seed %d pkt %d: scalar result %+v != burst %+v", seed, j, s, burstRes[j])
+			}
+			if !reflect.DeepEqual(scalarPkts[j], burstPkts[j]) {
+				t.Fatalf("seed %d pkt %d: packets diverged after processing", seed, j)
+			}
+		}
+		if sp, bp := scalarCol.Snapshot(), burstCol.Snapshot(); !reflect.DeepEqual(sp, bp) {
+			t.Fatalf("seed %d: scalar/burst profile snapshots differ:\nscalar: %+v\nburst:  %+v", seed, sp, bp)
+		}
+		sProc, sDrop := scalarNIC.Counters()
+		bProc, bDrop := burstNIC.Counters()
+		if sProc != bProc || sDrop != bDrop {
+			t.Fatalf("seed %d: counters (%d,%d) != (%d,%d)", seed, sProc, sDrop, bProc, bDrop)
+		}
+
+		// Part B: serial Measure vs ring-fed MeasureParallel (cache-free:
+		// LRU caches are order-dependent across workers by design).
+		serialNIC, serialCol := mkNIC(false)
+		parallelNIC, parallelCol := mkNIC(false)
+		workers := 2 + i%7
+		serial := serialNIC.Measure(pkts)
+		parallel := parallelNIC.MeasureParallel(pkts, workers)
+		if serial != parallel {
+			t.Fatalf("seed %d: serial %+v != parallel(%d) %+v", seed, serial, workers, parallel)
+		}
+		if sp, pp := serialCol.Snapshot(), parallelCol.Snapshot(); !reflect.DeepEqual(sp, pp) {
+			t.Fatalf("seed %d: measure profile snapshots differ", seed)
 		}
 	}
 }

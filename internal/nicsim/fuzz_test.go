@@ -1,0 +1,72 @@
+package nicsim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"pipeleon/internal/costmodel"
+	"pipeleon/internal/p4ir"
+	"pipeleon/internal/packet"
+	"pipeleon/internal/trafficgen"
+)
+
+// FuzzPlanCompileProcess feeds arbitrary program JSON through the full
+// emulator front door: load, validate, compile an execution plan, then
+// push a batch of seeded traffic through both the scalar and the burst
+// datapath. Nothing may panic, and for every program that compiles the
+// two datapaths must stay bit-identical (the burst path's standing proof
+// obligation, here under fuzzer-mangled programs instead of synthesized
+// ones). Seed corpus lives in testdata/fuzz/FuzzPlanCompileProcess.
+func FuzzPlanCompileProcess(f *testing.F) {
+	f.Add([]byte(`{"name":"x","init_table":"t","tables":[{"name":"t","key":[{"target":"ipv4.dstAddr","match_type":"exact","width":32}],"actions":[{"name":"drop","primitives":[{"op":"drop"}]}]}],"conditionals":[]}`), uint64(7))
+	f.Add([]byte(`{}`), uint64(0))
+	f.Fuzz(func(t *testing.T, data []byte, seed uint64) {
+		prog, err := p4ir.Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if prog.Validate() != nil {
+			return
+		}
+		mk := func() *NIC {
+			nic, err := New(prog, Config{
+				Params:      costmodel.BlueField2(),
+				Seed:        seed,
+				NoiseStdDev: 0.05,
+			})
+			if err != nil {
+				t.Skip() // compile rejection is fine; panics are not
+			}
+			return nic
+		}
+		scalarNIC, burstNIC := mk(), mk()
+
+		gen := trafficgen.New(seed, 0)
+		gen.AddFlows(trafficgen.UniformFlows(seed+1, 8)...)
+		pkts := gen.Batch(BurstSize + 3) // odd size exercises the tail burst
+
+		scalarPkts := make([]*packet.Packet, len(pkts))
+		burstPkts := make([]*packet.Packet, len(pkts))
+		for i, p := range pkts {
+			scalarPkts[i] = p.Clone()
+			burstPkts[i] = p.Clone()
+		}
+		scalarRes := make([]Result, len(pkts))
+		for i, p := range scalarPkts {
+			scalarRes[i] = scalarNIC.Process(p)
+		}
+		burstRes := make([]Result, len(pkts))
+		burstNIC.ProcessBurst(burstPkts, burstRes)
+		for i := range pkts {
+			s := scalarRes[i]
+			s.Path = nil // the burst path does not record Path
+			if !reflect.DeepEqual(s, burstRes[i]) {
+				t.Fatalf("pkt %d: scalar result %+v != burst %+v", i, s, burstRes[i])
+			}
+			if !reflect.DeepEqual(scalarPkts[i], burstPkts[i]) {
+				t.Fatalf("pkt %d: packets diverged after processing", i)
+			}
+		}
+	})
+}

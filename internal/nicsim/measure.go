@@ -1,11 +1,12 @@
 package nicsim
 
 import (
+	"context"
 	"runtime"
-	"sort"
 	"sync"
 
 	"pipeleon/internal/packet"
+	"pipeleon/internal/ring"
 )
 
 // Measurement aggregates a batch of processed packets into the quantities
@@ -25,19 +26,85 @@ type Measurement struct {
 }
 
 // Measure clones and processes each packet, returning aggregates. Input
-// packets are not mutated.
+// packets are not mutated. Packets run through the burst datapath in
+// submission order, so serial measurement remains bit-identical to
+// per-packet Process calls (same virtual-clock order, same latency
+// arithmetic).
 func (n *NIC) Measure(pkts []*packet.Packet) Measurement {
 	return n.measure(pkts, 1)
 }
 
-// MeasureParallel processes the batch on `workers` goroutines, steering
-// packets to workers by flow hash so each flow stays on one core — the
-// run-to-completion multicore model. workers <= 0 uses GOMAXPROCS.
+// MeasureParallel processes the batch on `workers` goroutines fed by
+// per-worker SPSC rings, steering packets to workers through an
+// RSS-style indirection table rebalanced for the batch's per-bucket load
+// — flows stay on one core, so per-flow state never migrates mid-batch.
+// Per-packet latencies land in per-index slots and profiling updates are
+// commutative, so for cache-free programs at sampling=1 the result is
+// bit-identical to Measure. workers <= 0 uses GOMAXPROCS.
 func (n *NIC) MeasureParallel(pkts []*packet.Packet, workers int) Measurement {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return n.measure(pkts, workers)
+}
+
+// burstTally accumulates per-worker aggregate counts; merged once per
+// worker, not per packet.
+type burstTally struct {
+	drops, migrations, vhits, counters, wireBytes int64
+}
+
+func (t *burstTally) add(o *burstTally) {
+	t.drops += o.drops
+	t.migrations += o.migrations
+	t.vhits += o.vhits
+	t.counters += o.counters
+	t.wireBytes += o.wireBytes
+}
+
+// burstRunner is one goroutine's scratch for the burst datapath: a fixed
+// arena of packets cloned into by index, so measurement performs no
+// per-packet heap allocation.
+type burstRunner struct {
+	scratch [BurstSize]packet.Packet
+	ptrs    [BurstSize]*packet.Packet
+	results [BurstSize]Result
+}
+
+func newBurstRunner() *burstRunner {
+	br := &burstRunner{}
+	for i := range br.ptrs {
+		br.ptrs[i] = &br.scratch[i]
+	}
+	return br
+}
+
+// runIdx clones pkts[idx[i]] into the scratch arena, processes the burst,
+// and scatters latencies back to their per-index slots.
+func (br *burstRunner) runIdx(n *NIC, pkts []*packet.Packet, idx []int32, lat []float64, t *burstTally) {
+	k := len(idx)
+	for i := 0; i < k; i++ {
+		pkts[idx[i]].CloneInto(br.ptrs[i])
+	}
+	n.ProcessBurst(br.ptrs[:k], br.results[:k])
+	for i := 0; i < k; i++ {
+		r := &br.results[i]
+		j := idx[i]
+		lat[j] = r.LatencyNs
+		if r.Dropped {
+			t.drops++
+		}
+		t.migrations += int64(r.Migrations)
+		if r.VendorCacheHit {
+			t.vhits++
+		}
+		t.counters += int64(r.CounterUpdates)
+		wl := pkts[j].WireLen
+		if wl == 0 {
+			wl = 512
+		}
+		t.wireBytes += int64(wl)
+	}
 }
 
 func (n *NIC) measure(pkts []*packet.Packet, workers int) Measurement {
@@ -46,60 +113,12 @@ func (n *NIC) measure(pkts []*packet.Packet, workers int) Measurement {
 		return m
 	}
 	lat := make([]float64, len(pkts))
-	var drops, migrations, vhits, counters int64
-	var wireBytes int64
-
-	process := func(lo, hi int) (d, mg, vh, cu, wb int64) {
-		for i := lo; i < hi; i++ {
-			p := pkts[i].Clone()
-			r := n.Process(p)
-			lat[i] = r.LatencyNs
-			if r.Dropped {
-				d++
-			}
-			mg += int64(r.Migrations)
-			if r.VendorCacheHit {
-				vh++
-			}
-			cu += int64(r.CounterUpdates)
-			wl := pkts[i].WireLen
-			if wl == 0 {
-				wl = 512
-			}
-			wb += int64(wl)
-		}
-		return
-	}
+	var tally burstTally
 
 	if workers <= 1 {
-		drops, migrations, vhits, counters, wireBytes = process(0, len(pkts))
+		n.measureSerial(pkts, lat, &tally)
 	} else {
-		var wg sync.WaitGroup
-		var mu sync.Mutex
-		chunk := (len(pkts) + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			hi := lo + chunk
-			if hi > len(pkts) {
-				hi = len(pkts)
-			}
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				d, mg, vh, cu, wb := process(lo, hi)
-				mu.Lock()
-				drops += d
-				migrations += mg
-				vhits += vh
-				counters += cu
-				wireBytes += wb
-				mu.Unlock()
-			}(lo, hi)
-		}
-		wg.Wait()
+		n.measureRings(pkts, lat, &tally, workers)
 	}
 
 	var sum float64
@@ -109,21 +128,155 @@ func (n *NIC) measure(pkts []*packet.Packet, workers int) Measurement {
 	m.Packets = len(pkts)
 	m.MeanLatencyNs = sum / float64(len(pkts))
 	m.P99LatencyNs = percentile(lat, 0.99)
-	m.DropRate = float64(drops) / float64(len(pkts))
-	m.MeanMigrations = float64(migrations) / float64(len(pkts))
-	m.VendorHitRate = float64(vhits) / float64(len(pkts))
-	m.MeanCounterUpdates = float64(counters) / float64(len(pkts))
-	meanBytes := int(wireBytes / int64(len(pkts)))
+	m.DropRate = float64(tally.drops) / float64(len(pkts))
+	m.MeanMigrations = float64(tally.migrations) / float64(len(pkts))
+	m.VendorHitRate = float64(tally.vhits) / float64(len(pkts))
+	m.MeanCounterUpdates = float64(tally.counters) / float64(len(pkts))
+	meanBytes := int(tally.wireBytes / int64(len(pkts)))
 	m.ThroughputGbps = n.pm.ThroughputGbps(m.MeanLatencyNs, meanBytes)
 	return m
 }
 
+// measureSerial runs the batch through the burst datapath in order on the
+// calling goroutine.
+func (n *NIC) measureSerial(pkts []*packet.Packet, lat []float64, tally *burstTally) {
+	br := newBurstRunner()
+	for lo := 0; lo < len(pkts); lo += BurstSize {
+		hi := lo + BurstSize
+		if hi > len(pkts) {
+			hi = len(pkts)
+		}
+		br.runRange(n, pkts, lo, hi, lat, tally)
+	}
+}
+
+// runRange is runIdx for a contiguous index range — the serial path's
+// form, with no index array to fill or chase.
+func (br *burstRunner) runRange(n *NIC, pkts []*packet.Packet, lo, hi int, lat []float64, t *burstTally) {
+	k := hi - lo
+	for i := 0; i < k; i++ {
+		pkts[lo+i].CloneInto(br.ptrs[i])
+	}
+	n.ProcessBurst(br.ptrs[:k], br.results[:k])
+	for i := 0; i < k; i++ {
+		r := &br.results[i]
+		lat[lo+i] = r.LatencyNs
+		if r.Dropped {
+			t.drops++
+		}
+		t.migrations += int64(r.Migrations)
+		if r.VendorCacheHit {
+			t.vhits++
+		}
+		t.counters += int64(r.CounterUpdates)
+		wl := pkts[lo+i].WireLen
+		if wl == 0 {
+			wl = 512
+		}
+		t.wireBytes += int64(wl)
+	}
+}
+
+// idxBurst is one ring element: a burst of packet indices for a worker.
+type idxBurst struct {
+	n   int32
+	idx [BurstSize]int32
+}
+
+// measureRings is the multicore path: the producer steers packet indices
+// through the RSS table into per-worker SPSC rings in bursts; workers
+// clone-and-process and scatter results by index.
+func (n *NIC) measureRings(pkts []*packet.Packet, lat []float64, tally *burstTally, workers int) {
+	// Steering: hash every flow, count per-bucket load, then migrate
+	// buckets so the batch spreads evenly — deterministic for a given
+	// batch, so repeated runs steer identically.
+	rss := newRSSTable(workers)
+	hashes := make([]uint64, len(pkts))
+	var load [rssBuckets]int64
+	for i, p := range pkts {
+		hashes[i] = p.Flow().FastHash()
+		load[bucketOf(hashes[i])]++
+	}
+	rss.rebalance(&load)
+
+	ctx := context.Background()
+	rings := make([]*ring.SPSC[idxBurst], workers)
+	for w := range rings {
+		rings[w] = ring.New[idxBurst](64)
+	}
+	tallies := make([]burstTally, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			br := newBurstRunner()
+			for {
+				b, ok := rings[w].Pop(ctx)
+				if !ok {
+					return
+				}
+				br.runIdx(n, pkts, b.idx[:b.n], lat, &tallies[w])
+			}
+		}(w)
+	}
+	pending := make([]idxBurst, workers)
+	for i := range pkts {
+		w := rss.workerOf(hashes[i])
+		pb := &pending[w]
+		pb.idx[pb.n] = int32(i)
+		pb.n++
+		if pb.n == BurstSize {
+			rings[w].Push(ctx, *pb)
+			pb.n = 0
+		}
+	}
+	for w := range pending {
+		if pending[w].n > 0 {
+			rings[w].Push(ctx, pending[w])
+		}
+		rings[w].Close()
+	}
+	wg.Wait()
+	for w := range tallies {
+		tally.add(&tallies[w])
+	}
+}
+
+// percentile returns the value at rank int(q*(len-1)) of the sorted order
+// — the same element the former sort-then-index implementation produced —
+// via in-place quickselect, which drops the O(n log n) sort from every
+// measurement. The input slice is reordered.
 func percentile(values []float64, q float64) float64 {
 	if len(values) == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), values...)
-	sort.Float64s(sorted)
-	idx := int(q * float64(len(sorted)-1))
-	return sorted[idx]
+	k := int(q * float64(len(values)-1))
+	lo, hi := 0, len(values)-1
+	for lo < hi {
+		pivot := values[(lo+hi)>>1]
+		i, j := lo, hi
+		for i <= j {
+			for values[i] < pivot {
+				i++
+			}
+			for values[j] > pivot {
+				j--
+			}
+			if i <= j {
+				values[i], values[j] = values[j], values[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return values[k]
+		}
+	}
+	return values[k]
 }

@@ -125,6 +125,7 @@ type NIC struct {
 // slot spreads concurrent contexts across the collector's counter banks.
 type procCtx struct {
 	slot     uint32
+	wantPath bool     // record Result.Path (scalar Process only)
 	values   []uint64 // gathered match-key values
 	scratch  []byte   // lookup key build buffer
 	keyBuf   []byte   // append-only per-packet cache-fill keys
@@ -132,6 +133,17 @@ type procCtx struct {
 	writes   []fieldWrite
 	fills    []fillRef
 	fillBufs [][]fieldWrite // reusable write buffers, one per fill slot
+	// burst is the per-burst profiling accumulator (lazily created; only
+	// the burst path uses it).
+	burst *profile.Burst
+}
+
+// reset clears the per-packet scratch slices for reuse.
+func (ctx *procCtx) reset() {
+	ctx.path = ctx.path[:0]
+	ctx.keyBuf = ctx.keyBuf[:0]
+	ctx.writes = ctx.writes[:0]
+	ctx.fills = ctx.fills[:0]
 }
 
 type fillRef struct {
@@ -298,30 +310,42 @@ type Result struct {
 func (n *NIC) Process(pkt *packet.Packet) Result {
 	pl := n.plan.Load()
 	ctx := n.ctxPool.Get().(*procCtx)
-	res := n.run(pl, ctx, pkt)
-	ctx.path = ctx.path[:0]
-	ctx.keyBuf = ctx.keyBuf[:0]
-	ctx.writes = ctx.writes[:0]
-	ctx.fills = ctx.fills[:0]
+	ctx.wantPath = true
+	var sink profile.Sink
+	if len(pl.shards) > 0 {
+		sink = pl.shards[int(ctx.slot)%len(pl.shards)]
+	}
+	var res Result
+	n.run(pl, ctx, pkt, sink, &res)
+	n.note(res.Dropped)
+	ctx.reset()
 	n.ctxPool.Put(ctx)
 	return res
 }
 
-func (n *NIC) run(pl *execPlan, ctx *procCtx, pkt *packet.Packet) Result {
-	var res Result
+// run walks the compiled plan for one packet. Profiling updates go
+// through sink (a Shard for the scalar path, a per-burst accumulator for
+// the burst path — both commutative, so the two paths produce identical
+// snapshots). The caller accounts the packet via note / noteBurst.
+// run fills res in place rather than returning it: the burst path calls
+// it once per packet, and writing through the pointer keeps the Result
+// (with its Path slice header) out of the call's copy traffic.
+func (n *NIC) run(pl *execPlan, ctx *procCtx, pkt *packet.Packet, sink profile.Sink, res *Result) {
+	*res = Result{}
 	lat := pl.perPacketOver
-	flowHash := pkt.Flow().FastHash()
 
-	var shard *profile.Shard
-	if len(pl.shards) > 0 {
-		shard = pl.shards[int(ctx.slot)%len(pl.shards)]
-	}
 	sampled := false
-	if pl.instrument && shard != nil {
-		sampled = shard.Sampled()
+	if pl.instrument && sink != nil {
+		sampled = sink.Sampled()
+	}
+	// The flow hash feeds profiling (AddFlow) and the noise model; when
+	// neither is live this packet, skip computing it.
+	var flowHash uint64
+	if sampled || pl.noiseStd > 0 {
+		flowHash = pkt.Flow().FastHash()
 	}
 	if sampled {
-		shard.AddFlow(flowHash)
+		sink.AddFlow(flowHash)
 	}
 
 	// Vendor cache front-end.
@@ -337,14 +361,13 @@ func (n *NIC) run(pl *execPlan, ctx *procCtx, pkt *packet.Packet) Result {
 		lat += pl.lmat
 		if r, ok := pl.vendor.get(ctx.keyBuf[off:]); ok {
 			for _, w := range r.writes {
-				_ = pkt.Set(w.field, w.value)
+				pkt.SetID(w.id, w.value)
 			}
 			lat += float64(len(r.writes)) * pl.lact
 			res.VendorCacheHit = true
 			res.Dropped = r.dropped
 			res.LatencyNs = pl.applyNoise(lat, flowHash)
-			n.note(res.Dropped)
-			return res
+			return
 		}
 		ctx.addFill(pl.vendor, off, len(ctx.keyBuf)-off, nil)
 	}
@@ -355,7 +378,9 @@ func (n *NIC) run(pl *execPlan, ctx *procCtx, pkt *packet.Packet) Result {
 
 	for steps := 0; cur >= 0 && steps < pl.maxSteps; steps++ {
 		nd := &pl.nodes[cur]
-		ctx.path = append(ctx.path, cur)
+		if ctx.wantPath {
+			ctx.path = append(ctx.path, cur)
+		}
 		if nd.kind == nkCond {
 			mult := 1.0
 			if onCPU {
@@ -364,7 +389,7 @@ func (n *NIC) run(pl *execPlan, ctx *procCtx, pkt *packet.Packet) Result {
 			lat += pl.condLat * mult
 			taken := nd.cond(pkt)
 			if sampled {
-				shard.IncBranch(int(nd.condSlot), taken)
+				sink.IncBranch(int(nd.condSlot), taken)
 				res.CounterUpdates++
 				lat += pl.counterUpdate * mult
 			} else if pl.instrument {
@@ -401,12 +426,12 @@ func (n *NIC) run(pl *execPlan, ctx *procCtx, pkt *packet.Packet) Result {
 			}
 			if r, ok := nd.fc.get(ctx.keyBuf[off:]); ok {
 				for _, w := range r.writes {
-					_ = pkt.Set(w.field, w.value)
+					pkt.SetID(w.id, w.value)
 				}
 				lat += float64(len(r.writes)) * pl.lact * mult
 				if sampled {
-					shard.IncCache(int(nd.cacheSlot), true)
-					shard.IncAction(int(nd.hitSite))
+					sink.IncCache(int(nd.cacheSlot), true)
+					sink.IncAction(int(nd.hitSite))
 					res.CounterUpdates++
 					lat += pl.counterUpdate * mult
 				} else if pl.instrument {
@@ -420,8 +445,8 @@ func (n *NIC) run(pl *execPlan, ctx *procCtx, pkt *packet.Packet) Result {
 				continue
 			}
 			if sampled {
-				shard.IncCache(int(nd.cacheSlot), false)
-				shard.IncAction(int(nd.missSite))
+				sink.IncCache(int(nd.cacheSlot), false)
+				sink.IncAction(int(nd.missSite))
 				res.CounterUpdates++
 				lat += pl.counterUpdate * mult
 			} else if pl.instrument {
@@ -433,15 +458,37 @@ func (n *NIC) run(pl *execPlan, ctx *procCtx, pkt *packet.Packet) Result {
 		}
 
 		// Ordinary (or pre-populated merged-cache) table.
-		ctx.gather(rt, pkt)
-		if sampled && len(ctx.values) > 0 {
-			shard.AddKey(int(nd.keySlot), foldValues(ctx.values))
+		var lr lookupResult
+		if rt.m0 != nil {
+			// Single-field exact match against the open-addressed bank:
+			// the whole lookup inlines into this loop.
+			v := pkt.GetID(rt.fids[0]) & rt.kmasks[0]
+			if sampled {
+				one := [1]uint64{v}
+				sink.AddKey(int(nd.keySlot), foldValues(one[:]))
+			}
+			se := rt.m0.get(v & rt.m0mask)
+			lr = lookupResult{entry: se, probes: 1, hit: se != nil}
+		} else if len(rt.fids) == 1 {
+			// Single-field fast path: key word straight from the packet,
+			// no gather loop, no scratch buffer.
+			v := pkt.GetID(rt.fids[0]) & rt.kmasks[0]
+			if sampled {
+				one := [1]uint64{v}
+				sink.AddKey(int(nd.keySlot), foldValues(one[:]))
+			}
+			lr = rt.lookup1(v)
+		} else {
+			ctx.gather(rt, pkt)
+			if sampled && len(ctx.values) > 0 {
+				sink.AddKey(int(nd.keySlot), foldValues(ctx.values))
+			}
+			need := 8 * len(ctx.values)
+			if cap(ctx.scratch) < need {
+				ctx.scratch = make([]byte, need)
+			}
+			lr = rt.lookupBuf(ctx.values, ctx.scratch[:need])
 		}
-		need := 8 * len(ctx.values)
-		if cap(ctx.scratch) < need {
-			ctx.scratch = make([]byte, need)
-		}
-		lr := rt.lookupBuf(ctx.values, ctx.scratch[:need])
 		act := rt.defaultAct
 		var cargs []operand
 		if lr.hit {
@@ -456,9 +503,9 @@ func (n *NIC) run(pl *execPlan, ctx *procCtx, pkt *packet.Packet) Result {
 		}
 		lat += float64(len(act.prims)) * pl.lact * mult
 		if sampled {
-			shard.IncAction(int(nd.actSites[act.idx]))
+			sink.IncAction(int(nd.actSites[act.idx]))
 			if nd.prepopSlot >= 0 {
-				shard.IncCache(int(nd.prepopSlot), !act.isCacheMiss)
+				sink.IncCache(int(nd.prepopSlot), !act.isCacheMiss)
 			}
 			res.CounterUpdates++
 			lat += pl.counterUpdate * mult
@@ -516,7 +563,7 @@ func (n *NIC) run(pl *execPlan, ctx *procCtx, pkt *packet.Packet) Result {
 		}
 	}
 	res.Dropped = dropped
-	if len(ctx.path) > 0 {
+	if ctx.wantPath && len(ctx.path) > 0 {
 		names := make([]string, len(ctx.path))
 		for i, id := range ctx.path {
 			names[i] = pl.nodes[id].name
@@ -524,19 +571,13 @@ func (n *NIC) run(pl *execPlan, ctx *procCtx, pkt *packet.Packet) Result {
 		res.Path = names
 	}
 	res.LatencyNs = pl.applyNoise(lat, flowHash)
-	n.note(dropped)
-	return res
 }
 
 // gather fills ctx.values with the table's width-masked key fields.
 func (ctx *procCtx) gather(rt *runtimeTable, pkt *packet.Packet) {
 	vals := ctx.values[:0]
-	for i, f := range rt.fields {
-		v, _ := pkt.Get(f)
-		if w := rt.widths[i]; w < 64 {
-			v &= (uint64(1) << w) - 1
-		}
-		vals = append(vals, v)
+	for i, fid := range rt.fids {
+		vals = append(vals, pkt.GetID(fid)&rt.kmasks[i])
 	}
 	ctx.values = vals
 }

@@ -1,0 +1,77 @@
+package nicsim
+
+import "sort"
+
+// RSS-style flow steering: flows hash into a fixed set of indirection
+// buckets and buckets map to cores, the way hardware RSS indirection
+// tables do. Per-flow state (vendor-cache lines, meters, profiling key
+// sets) then never crosses cores, and rebalancing migrates whole buckets
+// — coarse, cheap, and deterministic — instead of individual flows.
+
+// rssBuckets is the indirection table size. 256 buckets give fine-grained
+// balancing for any worker count the emulator uses while keeping the
+// table one cache line of int32s per 16 buckets.
+const rssBuckets = 256
+
+// rssTable maps indirection buckets to workers.
+type rssTable struct {
+	workers int
+	bucket  [rssBuckets]int32
+}
+
+// newRSSTable builds the static mapping bucket -> bucket % workers, the
+// hardware power-on default.
+func newRSSTable(workers int) *rssTable {
+	if workers < 1 {
+		workers = 1
+	}
+	t := &rssTable{workers: workers}
+	for i := range t.bucket {
+		t.bucket[i] = int32(i % workers)
+	}
+	return t
+}
+
+// bucketOf returns the indirection bucket of a flow hash.
+func bucketOf(hash uint64) int32 { return int32(hash & (rssBuckets - 1)) }
+
+// workerOf returns the worker assigned to a flow hash.
+func (t *rssTable) workerOf(hash uint64) int32 { return t.bucket[bucketOf(hash)] }
+
+// rebalance migrates buckets across workers given the per-bucket packet
+// load of the upcoming batch: buckets are assigned greedily, heaviest
+// first, to the least-loaded worker (longest-processing-time heuristic).
+// The assignment is a pure function of load, so identical batches steer
+// identically across runs. It returns the number of buckets that moved
+// from their previous worker.
+func (t *rssTable) rebalance(load *[rssBuckets]int64) int {
+	order := make([]int32, 0, rssBuckets)
+	for b := int32(0); b < rssBuckets; b++ {
+		if load[b] > 0 {
+			order = append(order, b)
+		}
+	}
+	// Heaviest bucket first; ties broken by bucket id for determinism.
+	sort.Slice(order, func(i, j int) bool {
+		if load[order[i]] != load[order[j]] {
+			return load[order[i]] > load[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	totals := make([]int64, t.workers)
+	migrated := 0
+	for _, b := range order {
+		w := int32(0)
+		for c := int32(1); c < int32(t.workers); c++ {
+			if totals[c] < totals[w] {
+				w = c
+			}
+		}
+		totals[w] += load[b]
+		if t.bucket[b] != w {
+			t.bucket[b] = w
+			migrated++
+		}
+	}
+	return migrated
+}

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"pipeleon/internal/p4ir"
+	"pipeleon/internal/packet"
 )
 
 // maskSig identifies one hash-table group: the tuple of masks applied to
@@ -31,6 +32,13 @@ func sigOf(masks []uint64) maskSig {
 	return maskSig(b)
 }
 
+// flatMaxEntries bounds the linear-scan form: groups at or below this
+// size are probed by comparing masked key words directly, skipping the
+// hash-and-map machinery that dominates small-table lookup cost. Within a
+// group, masks are identical, so at most one entry can match a given key
+// — scan order cannot change the result, only find it cheaper.
+const flatMaxEntries = 16
+
 // maskGroup is one hash table of a multi-hash-table match structure.
 type maskGroup struct {
 	masks []uint64
@@ -38,6 +46,156 @@ type maskGroup struct {
 	// ternary the max entry priority is tracked per entry instead.
 	prefixBits int
 	entries    map[string]*storedEntry
+	// flat/flatKeys is the linear-scan form built for small groups:
+	// entry j's masked key words live at flatKeys[j*nk : (j+1)*nk]. nil
+	// for groups above flatMaxEntries (the map stays authoritative).
+	flat     []*storedEntry
+	flatKeys []uint64
+	// m64 is the probe form for large single-field groups: keyed by the
+	// masked key word directly, it skips hashing key bytes through the
+	// string map.
+	m64 *u64map
+}
+
+// u64map is a minimal open-addressing hash table keyed by masked key
+// words — the emulator's stand-in for the NIC's SRAM exact-match bank.
+// Fibonacci hashing, linear probing, load factor <= 0.5, and a flat
+// parallel-array layout keep a hit to ~two cache lines with no per-probe
+// function call; key 0 is stored out of band because 0 marks empty slots.
+type u64map struct {
+	mask  uint64
+	shift uint
+	slots []u64slot
+	zero  *storedEntry
+}
+
+// u64slot interleaves key and value so a probe touches one cache line,
+// not one line in a key array plus one in a value array.
+type u64slot struct {
+	k uint64
+	v *storedEntry
+}
+
+const fib64 = 0x9E3779B97F4A7C15
+
+func newU64Map(n int) *u64map {
+	size := 4
+	for size < 2*n {
+		size <<= 1
+	}
+	shift := uint(64)
+	for s := size; s > 1; s >>= 1 {
+		shift--
+	}
+	return &u64map{
+		mask:  uint64(size - 1),
+		shift: shift,
+		slots: make([]u64slot, size),
+	}
+}
+
+func (m *u64map) put(k uint64, se *storedEntry) {
+	if k == 0 {
+		m.zero = se
+		return
+	}
+	i := (k * fib64) >> m.shift
+	for m.slots[i&m.mask].k != 0 && m.slots[i&m.mask].k != k {
+		i++
+	}
+	m.slots[i&m.mask] = u64slot{k: k, v: se}
+}
+
+func (m *u64map) get(k uint64) *storedEntry {
+	if k == 0 {
+		return m.zero
+	}
+	i := (k * fib64) >> m.shift
+	for {
+		s := &m.slots[i&m.mask]
+		if s.k == k {
+			return s.v
+		}
+		if s.k == 0 {
+			return nil
+		}
+		i++
+	}
+}
+
+// freeze builds (or clears) the group's probe acceleration structures
+// after all entries are inserted: the linear-scan form for small groups,
+// and the uint64-keyed map for large single-field groups. Entries are
+// ordered by masked key bytes so the flat layout is deterministic
+// regardless of insertion order. The string-keyed entries map stays
+// authoritative either way; the accelerated forms are pure projections of
+// it, so probing through them cannot change which entry matches.
+func (g *maskGroup) freeze() {
+	g.flat, g.flatKeys, g.m64 = nil, nil, nil
+	if len(g.entries) == 0 {
+		return
+	}
+	// Single-field groups above a handful of entries probe fastest through
+	// the open-addressed table: one multiply-shift beats even an 8-entry
+	// scan, and the scan's worst case grows with the group.
+	if len(g.masks) == 1 && len(g.entries) > 4 {
+		g.m64 = newU64Map(len(g.entries))
+		for _, se := range g.entries {
+			g.m64.put(se.entry.Match[0].Value&g.masks[0], se)
+		}
+		return
+	}
+	if len(g.entries) > flatMaxEntries {
+		return
+	}
+	keys := make([]string, 0, len(g.entries))
+	for k := range g.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	nk := len(g.masks)
+	g.flat = make([]*storedEntry, 0, len(keys))
+	g.flatKeys = make([]uint64, 0, len(keys)*nk)
+	for _, k := range keys {
+		se := g.entries[k]
+		g.flat = append(g.flat, se)
+		for i := 0; i < nk; i++ {
+			g.flatKeys = append(g.flatKeys, se.entry.Match[i].Value&g.masks[i])
+		}
+	}
+}
+
+// scan probes the linear-scan form with unmasked key values. Only valid
+// when flat is non-nil.
+func (g *maskGroup) scan(values []uint64) *storedEntry {
+	nk := len(g.masks)
+	if nk == 0 {
+		if len(g.flat) > 0 {
+			return g.flat[0]
+		}
+		return nil
+	}
+	masks, keys := g.masks, g.flatKeys
+	if nk == 1 {
+		v := values[0] & masks[0]
+		for j, k := range keys {
+			if k == v {
+				return g.flat[j]
+			}
+		}
+		return nil
+	}
+outer:
+	for j := range g.flat {
+		base := j * nk
+		for i := 0; i < nk; i++ {
+			if values[i]&masks[i] != keys[base+i] {
+				continue outer
+			}
+		}
+		return g.flat[j]
+	}
+	return nil
 }
 
 type storedEntry struct {
@@ -53,7 +211,13 @@ type runtimeTable struct {
 	tbl    *p4ir.Table
 	kind   p4ir.MatchKind // widest
 	fields []string
+	// fids are the compiled key-field IDs, parallel to fields; key
+	// gathering reads packets by ID instead of by name.
+	fids   []packet.FieldID
 	widths []int
+	// kmasks are the precomputed width masks, parallel to fids, so key
+	// gathering masks with one AND instead of a branch and shift.
+	kmasks []uint64
 	// groups, probe order: exact = 1 group; LPM = descending prefix bits;
 	// ternary = all groups probed, best priority wins.
 	groups []*maskGroup
@@ -64,6 +228,13 @@ type runtimeTable struct {
 	// fixedM optionally overrides the probe charge (emulated-NIC models
 	// that fix LPM/ternary cost).
 	fixedM int
+	// m0/m0mask is the fully-inlined probe form of the hottest table
+	// shape — single-field exact match with an open-addressed group — so
+	// the execution loop skips both lookup dispatch and group selection.
+	// Exact tables always have exactly one group (all entries share the
+	// full mask) and charge one probe.
+	m0     *u64map
+	m0mask uint64
 }
 
 // buildTable compiles a table's entries into its lookup structure and its
@@ -76,7 +247,13 @@ func buildTable(t *p4ir.Table, fixedLPM, fixedTernary int) (*runtimeTable, error
 	}
 	for _, k := range t.Keys {
 		rt.fields = append(rt.fields, k.Field)
+		rt.fids = append(rt.fids, packet.FieldIDFor(k.Field))
 		rt.widths = append(rt.widths, k.BitWidth())
+		km := ^uint64(0)
+		if w := k.BitWidth(); w < 64 {
+			km = (uint64(1) << w) - 1
+		}
+		rt.kmasks = append(rt.kmasks, km)
 	}
 	rt.acts = make([]*compiledAction, len(t.Actions))
 	byName := make(map[string]*compiledAction, len(t.Actions))
@@ -127,6 +304,15 @@ func buildTable(t *p4ir.Table, fixedLPM, fixedTernary int) (*runtimeTable, error
 	sort.SliceStable(rt.groups, func(i, j int) bool {
 		return rt.groups[i].prefixBits > rt.groups[j].prefixBits
 	})
+	for _, g := range rt.groups {
+		g.freeze()
+	}
+	if rt.kind == p4ir.MatchExact && len(rt.fids) == 1 && rt.fixedM == 0 && len(rt.groups) == 1 {
+		if g := rt.groups[0]; g.m64 != nil {
+			rt.m0 = g.m64
+			rt.m0mask = g.masks[0]
+		}
+	}
 	return rt, nil
 }
 
@@ -193,7 +379,7 @@ func (rt *runtimeTable) lookupBuf(values []uint64, buf []byte) lookupResult {
 		res.probes = 1
 		if len(rt.groups) > 0 {
 			g := rt.groups[0]
-			if se, ok := g.entries[string(maskedKeyInto(buf, values, g.masks))]; ok {
+			if se := g.probe(values, buf); se != nil {
 				res.entry, res.hit = se, true
 			}
 		}
@@ -206,7 +392,7 @@ func (rt *runtimeTable) lookupBuf(values []uint64, buf []byte) lookupResult {
 			res.probes = 1
 		}
 		for _, g := range rt.groups {
-			if se, ok := g.entries[string(maskedKeyInto(buf, values, g.masks))]; ok {
+			if se := g.probe(values, buf); se != nil {
 				res.entry, res.hit = se, true
 				break
 			}
@@ -217,7 +403,7 @@ func (rt *runtimeTable) lookupBuf(values []uint64, buf []byte) lookupResult {
 			res.probes = 1
 		}
 		for _, g := range rt.groups {
-			if se, ok := g.entries[string(maskedKeyInto(buf, values, g.masks))]; ok {
+			if se := g.probe(values, buf); se != nil {
 				if res.entry == nil || se.priority > res.entry.priority {
 					res.entry, res.hit = se, true
 				}
@@ -228,6 +414,86 @@ func (rt *runtimeTable) lookupBuf(values []uint64, buf []byte) lookupResult {
 		res.probes = rt.fixedM
 	}
 	return res
+}
+
+// lookup1 is lookupBuf specialized for single-field tables — the common
+// case in practice — probing groups with the key word directly, so the
+// hot path skips the gather loop, the values slice, and the scratch
+// buffer entirely. Identical charging and matching to lookupBuf.
+func (rt *runtimeTable) lookup1(v uint64) lookupResult {
+	res := lookupResult{}
+	switch rt.kind {
+	case p4ir.MatchExact:
+		res.probes = 1
+		if len(rt.groups) > 0 {
+			if se := rt.groups[0].probe1(v); se != nil {
+				res.entry, res.hit = se, true
+			}
+		}
+	case p4ir.MatchLPM:
+		res.probes = len(rt.groups)
+		if res.probes == 0 {
+			res.probes = 1
+		}
+		for _, g := range rt.groups {
+			if se := g.probe1(v); se != nil {
+				res.entry, res.hit = se, true
+				break
+			}
+		}
+	default:
+		res.probes = len(rt.groups)
+		if res.probes == 0 {
+			res.probes = 1
+		}
+		for _, g := range rt.groups {
+			if se := g.probe1(v); se != nil {
+				if res.entry == nil || se.priority > res.entry.priority {
+					res.entry, res.hit = se, true
+				}
+			}
+		}
+	}
+	if rt.fixedM > 0 {
+		res.probes = rt.fixedM
+	}
+	return res
+}
+
+// probe1 is probe for single-field groups (which always carry a flat or
+// m64 form after freeze; the byte-key fallback covers hand-built groups).
+func (g *maskGroup) probe1(v uint64) *storedEntry {
+	m := v & g.masks[0]
+	if g.m64 != nil {
+		return g.m64.get(m)
+	}
+	if g.flat != nil {
+		for j, k := range g.flatKeys {
+			if k == m {
+				return g.flat[j]
+			}
+		}
+		return nil
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], m)
+	return g.entries[string(buf[:])]
+}
+
+// probe matches unmasked key values against the group: linear scan for
+// small groups, hashed map probe otherwise. Identical results either way
+// — within a group at most one entry can match.
+func (g *maskGroup) probe(values []uint64, buf []byte) *storedEntry {
+	if g.flat != nil {
+		return g.scan(values)
+	}
+	if g.m64 != nil {
+		return g.m64.get(values[0] & g.masks[0])
+	}
+	if se, ok := g.entries[string(maskedKeyInto(buf, values, g.masks))]; ok {
+		return se
+	}
+	return nil
 }
 
 // maskedKeyInto writes the masked key bytes into buf and returns the

@@ -103,6 +103,13 @@ type Config struct {
 	// 1 forces serial evaluation. Results are deterministic regardless
 	// of the worker count.
 	SearchWorkers int
+	// MeasureWorkers is the core count verification measurements run on
+	// when the deployment target supports batch measurement
+	// (target.BatchMeasurer): the emulator then feeds per-core workers
+	// through SPSC rings with RSS flow steering. 0 or 1 measures
+	// serially — the default, which keeps recorded replay traces and
+	// their golden measurements byte-stable.
+	MeasureWorkers int
 }
 
 // DefaultConfig returns the paper-faithful defaults.

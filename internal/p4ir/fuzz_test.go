@@ -1,0 +1,41 @@
+package p4ir
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzLoadValidate feeds arbitrary bytes through the BMv2-style JSON
+// loader and the structural validator: neither may panic on any input,
+// and any program that loads AND validates must survive a marshal/reload
+// round trip still valid — the invariant the deploy path's rewrite-safety
+// checks build on. Seed corpus lives in testdata/fuzz/FuzzLoadValidate
+// (synthesized programs plus hand-written near-miss documents).
+func FuzzLoadValidate(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"name":"x","init_table":"t","tables":[{"name":"t","key":[{"target":"ipv4.dstAddr","match_type":"exact","width":32}],"actions":[{"name":"drop","primitives":[{"op":"drop"}]}]}],"conditionals":[]}`))
+	f.Add([]byte(`{"name":"dangling","init_table":"missing","tables":[],"conditionals":[]}`))
+	f.Add([]byte(`{"tables":[{"name":"t","key":null,"actions":null}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := prog.Validate(); err != nil {
+			return // structural rejection is fine too
+		}
+		out, err := json.Marshal(prog)
+		if err != nil {
+			t.Fatalf("valid program failed to marshal: %v", err)
+		}
+		again, err := Load(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("valid program failed to reload: %v\njson: %s", err, out)
+		}
+		if err := again.Validate(); err != nil {
+			t.Fatalf("round-tripped program became invalid: %v\njson: %s", err, out)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // FieldInfo describes a named header field available to match-action keys.
@@ -11,6 +12,40 @@ type FieldInfo struct {
 	Name  string
 	Width int // bits
 }
+
+// FieldID is the compiled form of a field name: a small integer the
+// emulator's execution plans resolve once at table/action compile time so
+// the per-packet path reads and writes fields by index instead of by
+// string switch. IDs below metaBase address fixed header fields; IDs at or
+// above metaBase address interned "meta.*" scratch fields.
+type FieldID int32
+
+// FieldInvalid marks an unresolvable field reference; compiled operands
+// carrying it fall back to the string API (which reports the miss).
+const FieldInvalid FieldID = -1
+
+// Header field IDs, in registry order.
+const (
+	fieldEthDstMac FieldID = iota
+	fieldEthSrcMac
+	fieldEthType
+	fieldIPTOS
+	fieldIPTTL
+	fieldIPProto
+	fieldIPSrcAddr
+	fieldIPDstAddr
+	fieldIPID
+	fieldTCPSport
+	fieldTCPDport
+	fieldTCPSeq
+	fieldTCPFlags
+	fieldUDPSport
+	fieldUDPDport
+)
+
+// metaBase is the first metadata FieldID; meta IDs are assigned by
+// interning order and only ever grow.
+const metaBase FieldID = 256
 
 // registry lists every addressable header field with its wire width.
 // Metadata fields ("meta.*") are dynamic 32-bit scratch fields.
@@ -30,6 +65,106 @@ var registry = map[string]FieldInfo{
 	"tcp.flags":    {"tcp.flags", 8},
 	"udp.sport":    {"udp.sport", 16},
 	"udp.dport":    {"udp.dport", 16},
+}
+
+// headerIDs maps header field names to their fixed IDs.
+var headerIDs = map[string]FieldID{
+	"eth.dstMac":   fieldEthDstMac,
+	"eth.srcMac":   fieldEthSrcMac,
+	"eth.type":     fieldEthType,
+	"ipv4.tos":     fieldIPTOS,
+	"ipv4.ttl":     fieldIPTTL,
+	"ipv4.proto":   fieldIPProto,
+	"ipv4.srcAddr": fieldIPSrcAddr,
+	"ipv4.dstAddr": fieldIPDstAddr,
+	"ipv4.id":      fieldIPID,
+	"tcp.sport":    fieldTCPSport,
+	"tcp.dport":    fieldTCPDport,
+	"tcp.seq":      fieldTCPSeq,
+	"tcp.flags":    fieldTCPFlags,
+	"udp.sport":    fieldUDPSport,
+	"udp.dport":    fieldUDPDport,
+}
+
+// metaReg interns "meta.*" names to IDs. Interning happens at program
+// compile / packet synthesis time; the per-packet path only compares the
+// resulting integers, which also keeps Packet free of interior pointers.
+var metaReg = struct {
+	sync.RWMutex
+	ids   map[string]FieldID
+	names []string
+}{ids: map[string]FieldID{}}
+
+// FieldIDFor resolves a field name to its ID, interning metadata names on
+// first use. Unknown non-meta names return FieldInvalid.
+func FieldIDFor(name string) FieldID {
+	if id, ok := headerIDs[name]; ok {
+		return id
+	}
+	if !strings.HasPrefix(name, "meta.") {
+		return FieldInvalid
+	}
+	metaReg.RLock()
+	id, ok := metaReg.ids[name]
+	metaReg.RUnlock()
+	if ok {
+		return id
+	}
+	metaReg.Lock()
+	defer metaReg.Unlock()
+	if id, ok := metaReg.ids[name]; ok {
+		return id
+	}
+	id = metaBase + FieldID(len(metaReg.names))
+	metaReg.ids[name] = id
+	metaReg.names = append(metaReg.names, name)
+	return id
+}
+
+// FieldName returns the name for a FieldID ("" for FieldInvalid or an
+// unassigned meta ID).
+func FieldName(id FieldID) string {
+	if id >= metaBase {
+		metaReg.RLock()
+		defer metaReg.RUnlock()
+		if i := int(id - metaBase); i < len(metaReg.names) {
+			return metaReg.names[i]
+		}
+		return ""
+	}
+	switch id {
+	case fieldEthDstMac:
+		return "eth.dstMac"
+	case fieldEthSrcMac:
+		return "eth.srcMac"
+	case fieldEthType:
+		return "eth.type"
+	case fieldIPTOS:
+		return "ipv4.tos"
+	case fieldIPTTL:
+		return "ipv4.ttl"
+	case fieldIPProto:
+		return "ipv4.proto"
+	case fieldIPSrcAddr:
+		return "ipv4.srcAddr"
+	case fieldIPDstAddr:
+		return "ipv4.dstAddr"
+	case fieldIPID:
+		return "ipv4.id"
+	case fieldTCPSport:
+		return "tcp.sport"
+	case fieldTCPDport:
+		return "tcp.dport"
+	case fieldTCPSeq:
+		return "tcp.seq"
+	case fieldTCPFlags:
+		return "tcp.flags"
+	case fieldUDPSport:
+		return "udp.sport"
+	case fieldUDPDport:
+		return "udp.dport"
+	}
+	return ""
 }
 
 // FieldWidth returns the bit width of a field name. Unknown and metadata
@@ -54,111 +189,127 @@ func KnownFields() []string {
 // Get reads a named field from the packet. Metadata fields read zero when
 // absent. ok is false only for unknown non-meta names.
 func (p *Packet) Get(name string) (uint64, bool) {
-	if strings.HasPrefix(name, "meta.") {
+	id := FieldIDFor(name)
+	if id == FieldInvalid {
+		return 0, false
+	}
+	return p.GetID(id), true
+}
+
+// GetID reads a field by compiled ID. Absent metadata fields read zero.
+func (p *Packet) GetID(id FieldID) uint64 {
+	if id >= metaBase {
 		for i := 0; i < int(p.nMeta); i++ {
-			if p.metaKeys[i] == name {
-				return p.metaVals[i], true
+			if p.metaKeys[i] == id {
+				return p.metaVals[i]
 			}
 		}
-		return p.metaOver[name], true
+		return p.metaOver[id]
 	}
-	switch name {
-	case "eth.dstMac":
-		return macToU64(p.Eth.DstMAC), true
-	case "eth.srcMac":
-		return macToU64(p.Eth.SrcMAC), true
-	case "eth.type":
-		return uint64(p.Eth.Type), true
-	case "ipv4.tos":
-		return uint64(p.IP.TOS), true
-	case "ipv4.ttl":
-		return uint64(p.IP.TTL), true
-	case "ipv4.proto":
-		return uint64(p.IP.Protocol), true
-	case "ipv4.srcAddr":
-		return uint64(p.IP.SrcAddr), true
-	case "ipv4.dstAddr":
-		return uint64(p.IP.DstAddr), true
-	case "ipv4.id":
-		return uint64(p.IP.ID), true
-	case "tcp.sport":
-		return uint64(p.TCP.SrcPort), true
-	case "tcp.dport":
-		return uint64(p.TCP.DstPort), true
-	case "tcp.seq":
-		return uint64(p.TCP.Seq), true
-	case "tcp.flags":
-		return uint64(p.TCP.Flags), true
-	case "udp.sport":
-		return uint64(p.UDP.SrcPort), true
-	case "udp.dport":
-		return uint64(p.UDP.DstPort), true
+	switch id {
+	case fieldEthDstMac:
+		return macToU64(p.Eth.DstMAC)
+	case fieldEthSrcMac:
+		return macToU64(p.Eth.SrcMAC)
+	case fieldEthType:
+		return uint64(p.Eth.Type)
+	case fieldIPTOS:
+		return uint64(p.IP.TOS)
+	case fieldIPTTL:
+		return uint64(p.IP.TTL)
+	case fieldIPProto:
+		return uint64(p.IP.Protocol)
+	case fieldIPSrcAddr:
+		return uint64(p.IP.SrcAddr)
+	case fieldIPDstAddr:
+		return uint64(p.IP.DstAddr)
+	case fieldIPID:
+		return uint64(p.IP.ID)
+	case fieldTCPSport:
+		return uint64(p.TCP.SrcPort)
+	case fieldTCPDport:
+		return uint64(p.TCP.DstPort)
+	case fieldTCPSeq:
+		return uint64(p.TCP.Seq)
+	case fieldTCPFlags:
+		return uint64(p.TCP.Flags)
+	case fieldUDPSport:
+		return uint64(p.UDP.SrcPort)
+	case fieldUDPDport:
+		return uint64(p.UDP.DstPort)
 	}
-	return 0, false
+	return 0
 }
 
 // Set writes a named field. Unknown non-meta names return an error.
 func (p *Packet) Set(name string, v uint64) error {
-	if strings.HasPrefix(name, "meta.") {
+	id := FieldIDFor(name)
+	if id == FieldInvalid {
+		return fmt.Errorf("packet: unknown field %q", name)
+	}
+	p.SetID(id, v)
+	return nil
+}
+
+// SetID writes a field by compiled ID. Writes to FieldInvalid are dropped.
+func (p *Packet) SetID(id FieldID, v uint64) {
+	if id >= metaBase {
 		for i := 0; i < int(p.nMeta); i++ {
-			if p.metaKeys[i] == name {
+			if p.metaKeys[i] == id {
 				p.metaVals[i] = v
-				return nil
+				return
 			}
 		}
 		if p.metaOver != nil {
-			if _, ok := p.metaOver[name]; ok {
-				p.metaOver[name] = v
-				return nil
+			if _, ok := p.metaOver[id]; ok {
+				p.metaOver[id] = v
+				return
 			}
 		}
 		if int(p.nMeta) < metaInlineSlots {
-			p.metaKeys[p.nMeta] = name
+			p.metaKeys[p.nMeta] = id
 			p.metaVals[p.nMeta] = v
 			p.nMeta++
-			return nil
+			return
 		}
 		if p.metaOver == nil {
-			p.metaOver = map[string]uint64{}
+			p.metaOver = map[FieldID]uint64{}
 		}
-		p.metaOver[name] = v
-		return nil
+		p.metaOver[id] = v
+		return
 	}
-	switch name {
-	case "eth.dstMac":
+	switch id {
+	case fieldEthDstMac:
 		u64ToMAC(v, &p.Eth.DstMAC)
-	case "eth.srcMac":
+	case fieldEthSrcMac:
 		u64ToMAC(v, &p.Eth.SrcMAC)
-	case "eth.type":
+	case fieldEthType:
 		p.Eth.Type = uint16(v)
-	case "ipv4.tos":
+	case fieldIPTOS:
 		p.IP.TOS = uint8(v)
-	case "ipv4.ttl":
+	case fieldIPTTL:
 		p.IP.TTL = uint8(v)
-	case "ipv4.proto":
+	case fieldIPProto:
 		p.IP.Protocol = uint8(v)
-	case "ipv4.srcAddr":
+	case fieldIPSrcAddr:
 		p.IP.SrcAddr = uint32(v)
-	case "ipv4.dstAddr":
+	case fieldIPDstAddr:
 		p.IP.DstAddr = uint32(v)
-	case "ipv4.id":
+	case fieldIPID:
 		p.IP.ID = uint16(v)
-	case "tcp.sport":
+	case fieldTCPSport:
 		p.TCP.SrcPort = uint16(v)
-	case "tcp.dport":
+	case fieldTCPDport:
 		p.TCP.DstPort = uint16(v)
-	case "tcp.seq":
+	case fieldTCPSeq:
 		p.TCP.Seq = uint32(v)
-	case "tcp.flags":
+	case fieldTCPFlags:
 		p.TCP.Flags = uint8(v)
-	case "udp.sport":
+	case fieldUDPSport:
 		p.UDP.SrcPort = uint16(v)
-	case "udp.dport":
+	case fieldUDPDport:
 		p.UDP.DstPort = uint16(v)
-	default:
-		return fmt.Errorf("packet: unknown field %q", name)
 	}
-	return nil
 }
 
 func macToU64(m [6]byte) uint64 {
@@ -180,14 +331,24 @@ func u64ToMAC(v uint64, m *[6]byte) {
 // emulator; metadata copied). Packets whose metadata fits the inline
 // slots clone in a single allocation.
 func (p *Packet) Clone() *Packet {
-	cp := *p
+	cp := new(Packet)
+	p.CloneInto(cp)
+	return cp
+}
+
+// CloneInto copies the packet into dst, reusing dst's storage — the
+// allocation-free form of Clone the burst measurement loops use (one
+// scratch Packet per worker instead of one heap clone per packet). Like
+// Clone, the payload is shared and metadata is deep-copied.
+func (p *Packet) CloneInto(dst *Packet) {
+	*dst = *p
 	if p.metaOver != nil {
-		cp.metaOver = make(map[string]uint64, len(p.metaOver))
+		over := make(map[FieldID]uint64, len(p.metaOver))
 		for k, v := range p.metaOver {
-			cp.metaOver[k] = v
+			over[k] = v
 		}
+		dst.metaOver = over
 	}
-	return &cp
 }
 
 // MetaMap returns a copy of all metadata fields keyed by full name
@@ -195,10 +356,10 @@ func (p *Packet) Clone() *Packet {
 func (p *Packet) MetaMap() map[string]uint64 {
 	out := make(map[string]uint64, int(p.nMeta)+len(p.metaOver))
 	for i := 0; i < int(p.nMeta); i++ {
-		out[p.metaKeys[i]] = p.metaVals[i]
+		out[FieldName(p.metaKeys[i])] = p.metaVals[i]
 	}
 	for k, v := range p.metaOver {
-		out[k] = v
+		out[FieldName(k)] = v
 	}
 	return out
 }
@@ -206,7 +367,7 @@ func (p *Packet) MetaMap() map[string]uint64 {
 // ClearMeta removes every metadata field.
 func (p *Packet) ClearMeta() {
 	for i := 0; i < int(p.nMeta); i++ {
-		p.metaKeys[i] = ""
+		p.metaKeys[i] = 0
 		p.metaVals[i] = 0
 	}
 	p.nMeta = 0

@@ -85,14 +85,17 @@ type Packet struct {
 	HasTCP  bool
 	HasUDP  bool
 	Payload []byte
-	// Metadata fields ("meta.x") live in a small inline array so that
-	// metadata writes and Clone stay allocation-free on the emulator's
-	// hot path; programs touching more than metaInlineSlots distinct
-	// fields spill to the overflow map. Access via Get/Set/MetaMap.
+	// Metadata fields ("meta.x") live in a small inline array keyed by
+	// interned FieldID so that metadata writes and Clone stay
+	// allocation-free on the emulator's hot path — and so a Packet with
+	// no payload or overflow is pointer-free, which keeps GC scanning and
+	// write barriers off burst clones. Programs touching more than
+	// metaInlineSlots distinct fields spill to the overflow map. Access
+	// via Get/Set/GetID/SetID/MetaMap.
 	nMeta    uint8
-	metaKeys [metaInlineSlots]string
+	metaKeys [metaInlineSlots]FieldID
 	metaVals [metaInlineSlots]uint64
-	metaOver map[string]uint64
+	metaOver map[FieldID]uint64
 	// WireLen is the original wire length in bytes (for throughput math);
 	// Serialize output may differ if fields changed.
 	WireLen int

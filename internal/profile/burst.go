@@ -1,0 +1,178 @@
+package profile
+
+// Sink is the hot path's view of a profiling destination: either a Shard
+// (per-packet atomic increments) or a Burst (per-burst local accumulation
+// flushed into a Shard). The emulator's plan walker records through this
+// interface so the scalar and burst paths share one code path; because
+// counter increments are commutative adds and key/flow tracking is
+// set-insertion, flushing per burst instead of per packet produces
+// bit-identical snapshots.
+type Sink interface {
+	// Sampled reports whether the current packet updates counters,
+	// advancing the collector-wide sampling wheel.
+	Sampled() bool
+	IncAction(slot int)
+	IncBranch(slot int, taken bool)
+	IncCache(slot int, hit bool)
+	AddKey(slot int, key uint64)
+	AddFlow(key uint64)
+}
+
+var (
+	_ Sink = (*Shard)(nil)
+	_ Sink = (*Burst)(nil)
+)
+
+type burstKey struct {
+	slot int32
+	key  uint64
+}
+
+// Burst accumulates one burst's worth of profiling updates in plain local
+// memory and flushes them into a Shard in a single pass: one atomic add
+// per touched counter slot and one mutex acquisition for the key/flow
+// sets, instead of per-packet synchronization. A Burst belongs to one
+// goroutine; Flush must run before the results of the burst are observed
+// through Collector.Snapshot.
+type Burst struct {
+	shard    *Shard
+	actions  []uint64
+	branches []uint64
+	caches   []uint64
+	keys     []burstKey
+	flows    []uint64
+	dirty    bool
+}
+
+// NewBurst returns a burst accumulator bound to the shard.
+func (s *Shard) NewBurst() *Burst {
+	b := &Burst{}
+	b.bind(s)
+	return b
+}
+
+// Rebind flushes any pending updates and points the burst at a (possibly
+// new) shard — used when a program swap rebinds the collector's shard bank
+// between bursts.
+func (b *Burst) Rebind(s *Shard) {
+	if b.shard == s {
+		return
+	}
+	b.Flush()
+	b.bind(s)
+}
+
+func (b *Burst) bind(s *Shard) {
+	b.shard = s
+	b.actions = resizeZero(b.actions, len(s.actions))
+	b.branches = resizeZero(b.branches, len(s.branches))
+	b.caches = resizeZero(b.caches, len(s.caches))
+	b.keys = b.keys[:0]
+	b.flows = b.flows[:0]
+	b.dirty = false
+}
+
+func resizeZero(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// Sampled delegates to the shard's shared sampling wheel (at sampling=1
+// it touches no shared state).
+func (b *Burst) Sampled() bool { return b.shard.Sampled() }
+
+// IncAction counts one packet executing the action at the given slot.
+func (b *Burst) IncAction(slot int) {
+	b.actions[slot]++
+	b.dirty = true
+}
+
+// IncBranch counts one conditional outcome at the given slot.
+func (b *Burst) IncBranch(slot int, taken bool) {
+	i := 2 * slot
+	if !taken {
+		i++
+	}
+	b.branches[i]++
+	b.dirty = true
+}
+
+// IncCache counts a cache hit or miss at the given slot.
+func (b *Burst) IncCache(slot int, hit bool) {
+	i := 2 * slot
+	if !hit {
+		i++
+	}
+	b.caches[i]++
+	b.dirty = true
+}
+
+// AddKey notes a distinct folded key value at the given table slot.
+func (b *Burst) AddKey(slot int, key uint64) {
+	b.keys = append(b.keys, burstKey{slot: int32(slot), key: key})
+	b.dirty = true
+}
+
+// AddFlow notes a distinct flow key.
+func (b *Burst) AddFlow(key uint64) {
+	b.flows = append(b.flows, key)
+	b.dirty = true
+}
+
+// Flush drains the accumulated updates into the bound shard and resets
+// the burst for reuse.
+func (b *Burst) Flush() {
+	if b == nil || !b.dirty {
+		return
+	}
+	s := b.shard
+	for i, v := range b.actions {
+		if v > 0 {
+			s.actions[i].Add(v)
+			b.actions[i] = 0
+		}
+	}
+	for i, v := range b.branches {
+		if v > 0 {
+			s.branches[i].Add(v)
+			b.branches[i] = 0
+		}
+	}
+	for i, v := range b.caches {
+		if v > 0 {
+			s.caches[i].Add(v)
+			b.caches[i] = 0
+		}
+	}
+	if len(b.keys) > 0 || len(b.flows) > 0 {
+		s.mu.Lock()
+		for _, k := range b.keys {
+			set := s.keys[k.slot]
+			if set == nil {
+				set = map[uint64]struct{}{}
+				s.keys[k.slot] = set
+			}
+			if len(set) < keyCardCap {
+				set[k.key] = struct{}{}
+			}
+		}
+		for _, f := range b.flows {
+			if s.flows == nil {
+				s.flows = map[uint64]struct{}{}
+			}
+			if len(s.flows) < keyCardCap {
+				s.flows[f] = struct{}{}
+			}
+		}
+		s.mu.Unlock()
+		b.keys = b.keys[:0]
+		b.flows = b.flows[:0]
+	}
+	b.dirty = false
+}

@@ -1,0 +1,86 @@
+package ring
+
+import "testing"
+
+// FuzzSPSCOps drives one ring through an arbitrary op sequence against a
+// plain slice model: every TryPush/TryPop/TryPopBatch/Close outcome, every
+// popped value, and Len after every step must match the model exactly
+// (single-threaded, so the SPSC ownership rule is trivially respected).
+// This pins the FIFO property, the full/empty boundary conditions of the
+// power-of-two index arithmetic, and the Close-drain semantics.
+func FuzzSPSCOps(f *testing.F) {
+	f.Add(byte(4), []byte{0, 0, 1, 0, 2, 1, 3, 1, 1})
+	f.Add(byte(1), []byte{0, 0, 0, 0, 1, 1, 1})     // overflow a tiny ring
+	f.Add(byte(64), []byte{0, 1, 0, 1, 0, 1})       // ping-pong
+	f.Add(byte(8), []byte{3, 0, 1})                 // close first: pushes fail
+	f.Add(byte(8), []byte{0, 0, 0, 3, 1, 1, 1, 1})  // close with queued items drains
+	f.Add(byte(16), []byte{0, 0, 0, 0, 0, 2, 2, 2}) // batch drains
+	f.Fuzz(func(t *testing.T, capacity byte, ops []byte) {
+		r := New[uint64](int(capacity%64) + 1)
+		var model []uint64
+		var next uint64
+		closed := false
+		for _, op := range ops {
+			switch op % 4 {
+			case 0: // TryPush
+				ok := r.TryPush(next)
+				wantOK := !closed && len(model) < r.Cap()
+				if ok != wantOK {
+					t.Fatalf("TryPush(%d) = %v, want %v (len %d cap %d closed %v)",
+						next, ok, wantOK, len(model), r.Cap(), closed)
+				}
+				if ok {
+					model = append(model, next)
+				}
+				next++
+			case 1: // TryPop
+				v, ok := r.TryPop()
+				if ok != (len(model) > 0) {
+					t.Fatalf("TryPop ok = %v with %d queued", ok, len(model))
+				}
+				if ok {
+					if v != model[0] {
+						t.Fatalf("TryPop = %d, want %d (FIFO violated)", v, model[0])
+					}
+					model = model[1:]
+				}
+			case 2: // TryPopBatch
+				dst := make([]uint64, int(op)%5)
+				n := r.TryPopBatch(dst)
+				want := len(dst)
+				if want > len(model) {
+					want = len(model)
+				}
+				if n != want {
+					t.Fatalf("TryPopBatch popped %d, want %d", n, want)
+				}
+				for i := 0; i < n; i++ {
+					if dst[i] != model[i] {
+						t.Fatalf("TryPopBatch[%d] = %d, want %d", i, dst[i], model[i])
+					}
+				}
+				model = model[n:]
+			case 3: // Close (idempotent)
+				r.Close()
+				closed = true
+				if !r.Closed() {
+					t.Fatal("Closed() false after Close")
+				}
+			}
+			if r.Len() != len(model) {
+				t.Fatalf("Len = %d, model has %d", r.Len(), len(model))
+			}
+		}
+		// Drain: everything queued must come out in order, then empty.
+		for len(model) > 0 {
+			v, ok := r.TryPop()
+			if !ok || v != model[0] {
+				t.Fatalf("drain: got (%d,%v), want (%d,true)", v, ok, model[0])
+			}
+			model = model[1:]
+		}
+		if _, ok := r.TryPop(); ok {
+			t.Fatal("TryPop succeeded on empty ring")
+		}
+	})
+}

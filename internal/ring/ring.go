@@ -1,0 +1,158 @@
+// Package ring provides a single-producer single-consumer ring buffer —
+// the DPDK rte_ring idiom the emulator's parallel measurement path uses
+// between the traffic producer and per-core workers. Compared to a Go
+// channel, an SPSC ring has no lock, no goroutine parking on the fast
+// path, and burst-friendly semantics: the producer and consumer each own
+// one index and synchronize only through two atomics.
+//
+// Exactly one goroutine may push and one may pop. Close is safe from
+// either side (or a third); after Close, pushes fail immediately and pops
+// drain the remaining items before reporting closed — so an abandoned
+// consumer never strands a producer (Push unblocks via Close or context
+// cancellation) and a closing producer never loses queued items.
+package ring
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// SPSC is a bounded single-producer single-consumer queue. The zero value
+// is not usable; call New.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+
+	// head is the consumer cursor, tail the producer cursor; slot i of a
+	// cursor value c is buf[c&mask]. Padding keeps the two cursors on
+	// separate cache lines so producer and consumer don't false-share.
+	head atomic.Uint64
+	_    [56]byte
+	tail atomic.Uint64
+	_    [56]byte
+
+	closed atomic.Bool
+}
+
+// New returns a ring with capacity rounded up to the next power of two
+// (minimum 2).
+func New[T any](capacity int) *SPSC[T] {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	return &SPSC[T]{buf: make([]T, n), mask: uint64(n - 1)}
+}
+
+// Cap returns the ring's capacity.
+func (r *SPSC[T]) Cap() int { return len(r.buf) }
+
+// Len returns the number of queued items (approximate under concurrency).
+func (r *SPSC[T]) Len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// Close marks the ring closed. Queued items remain poppable; further
+// pushes fail. Idempotent.
+func (r *SPSC[T]) Close() { r.closed.Store(true) }
+
+// Closed reports whether Close was called.
+func (r *SPSC[T]) Closed() bool { return r.closed.Load() }
+
+// TryPush enqueues v without blocking. It fails when the ring is full or
+// closed.
+func (r *SPSC[T]) TryPush(v T) bool {
+	if r.closed.Load() {
+		return false
+	}
+	t := r.tail.Load()
+	if t-r.head.Load() >= uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[t&r.mask] = v
+	r.tail.Store(t + 1)
+	return true
+}
+
+// TryPop dequeues without blocking. ok is false when the ring is empty
+// (closed or not).
+func (r *SPSC[T]) TryPop() (v T, ok bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return v, false
+	}
+	var zero T
+	v = r.buf[h&r.mask]
+	r.buf[h&r.mask] = zero // drop the reference so the GC can reclaim it
+	r.head.Store(h + 1)
+	return v, true
+}
+
+// TryPopBatch dequeues up to len(dst) items without blocking, returning
+// how many were popped — the consumer-side burst drain.
+func (r *SPSC[T]) TryPopBatch(dst []T) int {
+	h := r.head.Load()
+	n := int(r.tail.Load() - h)
+	if n > len(dst) {
+		n = len(dst)
+	}
+	var zero T
+	for i := 0; i < n; i++ {
+		dst[i] = r.buf[(h+uint64(i))&r.mask]
+		r.buf[(h+uint64(i))&r.mask] = zero
+	}
+	if n > 0 {
+		r.head.Store(h + uint64(n))
+	}
+	return n
+}
+
+// Push enqueues v, spinning (with escalating yields) while the ring is
+// full. It returns false — without enqueuing — once the ring is closed or
+// ctx is done, so a producer whose consumer abandoned the ring always
+// unwinds instead of leaking.
+func (r *SPSC[T]) Push(ctx context.Context, v T) bool {
+	for spins := 0; ; spins++ {
+		if r.TryPush(v) {
+			return true
+		}
+		if r.closed.Load() || ctx.Err() != nil {
+			return false
+		}
+		backoff(spins)
+	}
+}
+
+// Pop dequeues one item, spinning while the ring is empty. It returns
+// false once the ring is closed and fully drained, or ctx is done.
+func (r *SPSC[T]) Pop(ctx context.Context) (v T, ok bool) {
+	for spins := 0; ; spins++ {
+		if v, ok = r.TryPop(); ok {
+			return v, true
+		}
+		if r.closed.Load() {
+			// Re-check after observing closed: the producer may have
+			// pushed between our TryPop and its Close.
+			return r.TryPop()
+		}
+		if ctx.Err() != nil {
+			return v, false
+		}
+		backoff(spins)
+	}
+}
+
+// backoff yields the processor, escalating from scheduler yields to
+// short sleeps so a spinning side cannot starve its peer on a
+// single-core runner.
+func backoff(spins int) {
+	if spins < 64 {
+		runtime.Gosched()
+		return
+	}
+	d := time.Duration(spins-63) * time.Microsecond
+	if d > 100*time.Microsecond {
+		d = 100 * time.Microsecond
+	}
+	time.Sleep(d)
+}

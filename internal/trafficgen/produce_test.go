@@ -1,0 +1,151 @@
+package trafficgen
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"pipeleon/internal/packet"
+	"pipeleon/internal/ring"
+)
+
+// Produce into a ring must emit exactly the stream Batch would: the ring
+// datapath is a transport, not a resample.
+func TestProduceMatchesBatch(t *testing.T) {
+	mk := func() *Generator {
+		g := New(42, 0)
+		g.AddFlows(UniformFlows(7, 64)...)
+		g.SetSkew(0.9)
+		return g
+	}
+	const n = 500
+	want := mk().Batch(n)
+
+	r := ring.New[*packet.Packet](16)
+	done := make(chan int, 1)
+	go func() { done <- mk().Produce(context.Background(), r, n) }()
+
+	got := make([]*packet.Packet, 0, n)
+	for {
+		p, ok := r.Pop(context.Background())
+		if !ok {
+			break
+		}
+		got = append(got, p)
+	}
+	if sent := <-done; sent != n {
+		t.Fatalf("Produce sent %d, want %d", sent, n)
+	}
+	if len(got) != n {
+		t.Fatalf("consumer popped %d, want %d", len(got), n)
+	}
+	for i := range got {
+		if got[i].Flow() != want[i].Flow() {
+			t.Fatalf("packet %d: ring stream diverged from Batch stream", i)
+		}
+	}
+}
+
+// An abandoned consumer must not strand the producer: when the consumer
+// closes the ring and walks away, Produce unwinds promptly (Push observes
+// the close) instead of spinning forever against a full ring.
+func TestProduceAbandonedConsumerUnwinds(t *testing.T) {
+	g := New(7, 0)
+	g.AddFlows(UniformFlows(8, 32)...)
+	r := ring.New[*packet.Packet](4)
+
+	done := make(chan int, 1)
+	go func() { done <- g.Produce(context.Background(), r, -1) }() // unbounded
+
+	// Consume a few packets, then abandon.
+	for i := 0; i < 10; i++ {
+		if _, ok := r.Pop(context.Background()); !ok {
+			t.Fatal("ring closed before the consumer abandoned it")
+		}
+	}
+	r.Close()
+
+	select {
+	case sent := <-done:
+		if sent < 10 {
+			t.Fatalf("Produce reported %d sent, but 10 were consumed", sent)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Produce leaked: still running 5s after the consumer closed the ring")
+	}
+	if !r.Closed() {
+		t.Fatal("ring must stay closed after Produce returns")
+	}
+}
+
+// Context cancellation is the other unwind path: with no consumer at all,
+// a Produce blocked on a full ring must return once its context is
+// canceled.
+func TestProduceEarlyContextCancelUnwinds(t *testing.T) {
+	g := New(9, 0)
+	g.AddFlows(UniformFlows(10, 16)...)
+	r := ring.New[*packet.Packet](2)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan int, 1)
+	go func() { done <- g.Produce(ctx, r, 100) }()
+
+	// Let the producer fill the ring and start spinning, then cancel.
+	for r.Len() < r.Cap() {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+
+	select {
+	case sent := <-done:
+		if sent >= 100 {
+			t.Fatalf("Produce sent %d with no consumer and a %d-slot ring", sent, r.Cap())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Produce leaked: still running 5s after context cancellation")
+	}
+	// Produce closes the ring on its way out so a late consumer drains and
+	// stops rather than blocking.
+	if !r.Closed() {
+		t.Fatal("ring not closed after canceled Produce returned")
+	}
+}
+
+// Split children feeding rings stay deterministic: the same parent split
+// the same way produces identical per-child ring streams across runs —
+// the property that makes parallel measurement reproducible.
+func TestSplitProduceDeterministic(t *testing.T) {
+	run := func() [][]packet.FlowKey {
+		g := New(42, 0)
+		g.AddFlows(UniformFlows(7, 100)...)
+		g.SetSkew(0.8)
+		kids := g.Split(3)
+		out := make([][]packet.FlowKey, len(kids))
+		for i, k := range kids {
+			r := ring.New[*packet.Packet](8)
+			done := make(chan int, 1)
+			go func() { done <- k.Produce(context.Background(), r, 120) }()
+			for {
+				p, ok := r.Pop(context.Background())
+				if !ok {
+					break
+				}
+				out[i] = append(out[i], p.Flow())
+			}
+			<-done
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("child %d: %d vs %d packets across runs", i, len(a[i]), len(b[i]))
+		}
+		for j := range a[i] {
+			if !reflect.DeepEqual(a[i][j], b[i][j]) {
+				t.Fatalf("child %d packet %d: flow diverged across runs", i, j)
+			}
+		}
+	}
+}

@@ -12,7 +12,10 @@
 package trafficgen
 
 import (
+	"context"
+
 	"pipeleon/internal/packet"
+	"pipeleon/internal/ring"
 	"pipeleon/internal/stats"
 )
 
@@ -95,10 +98,10 @@ func (g *Generator) prepare() {
 	}
 }
 
-// Next samples one packet.
-func (g *Generator) Next() *packet.Packet {
+// nextFlow samples the flow the next packet belongs to.
+func (g *Generator) nextFlow() Flow {
 	if len(g.flows) == 0 {
-		return g.build(Flow{Proto: packet.ProtoTCP})
+		return Flow{Proto: packet.ProtoTCP}
 	}
 	g.prepare()
 	var idx int
@@ -117,7 +120,20 @@ func (g *Generator) Next() *packet.Packet {
 		}
 		idx = lo
 	}
-	return g.build(g.flows[idx])
+	return g.flows[idx]
+}
+
+// Next samples one packet.
+func (g *Generator) Next() *packet.Packet {
+	p := &packet.Packet{}
+	g.buildInto(g.nextFlow(), p)
+	return p
+}
+
+// NextInto samples one packet into p, overwriting it entirely. The
+// allocation-free form of Next for ring producers that recycle packets.
+func (g *Generator) NextInto(p *packet.Packet) {
+	g.buildInto(g.nextFlow(), p)
 }
 
 // Split derives n independent child generators over the same flow
@@ -153,12 +169,43 @@ func (g *Generator) Batch(n int) []*packet.Packet {
 	return out
 }
 
-func (g *Generator) build(f Flow) *packet.Packet {
+// BatchInto samples len(dst) packets in place, allocating only for nil
+// slots — so a reused slice amortizes to zero allocations per batch.
+func (g *Generator) BatchInto(dst []*packet.Packet) {
+	for i := range dst {
+		if dst[i] == nil {
+			dst[i] = &packet.Packet{}
+		}
+		g.buildInto(g.nextFlow(), dst[i])
+	}
+}
+
+// Produce synthesizes `total` packets (unbounded when total < 0) and
+// pushes them into the ring, closing it on return so the consumer drains
+// and exits. It stops early — returning how many packets were actually
+// enqueued — when the ring is closed from the consumer side or ctx is
+// canceled, so an abandoned consumer never strands the producer.
+func (g *Generator) Produce(ctx context.Context, r *ring.SPSC[*packet.Packet], total int) int {
+	defer r.Close()
+	sent := 0
+	for total < 0 || sent < total {
+		p := &packet.Packet{}
+		g.buildInto(g.nextFlow(), p)
+		if !r.Push(ctx, p) {
+			break
+		}
+		sent++
+	}
+	return sent
+}
+
+// buildInto overwrites p with a fresh packet for flow f.
+func (g *Generator) buildInto(f Flow, p *packet.Packet) {
 	proto := f.Proto
 	if proto == 0 {
 		proto = packet.ProtoTCP
 	}
-	p := &packet.Packet{
+	*p = packet.Packet{
 		Eth:     packet.Ethernet{Type: packet.EtherTypeIPv4},
 		IP:      packet.IPv4{TTL: 64, Protocol: proto, SrcAddr: f.Src, DstAddr: f.Dst},
 		HasIPv4: true,
@@ -175,7 +222,6 @@ func (g *Generator) build(f Flow) *packet.Packet {
 	for field, v := range f.Fields {
 		_ = p.Set(field, v)
 	}
-	return p
 }
 
 // CrossProductFlows builds `count` flows whose listed fields cycle through
