@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fmtcheck lint ci verify conformance traces bench benchcheck fuzz
+.PHONY: build test vet race fmtcheck lint ci verify conformance traces bench benchcheck fuzz fleet-sim
 
 build:
 	$(GO) build ./...
@@ -54,15 +54,25 @@ conformance:
 	$(GO) test -race -run 'TestConformance|TestRuntimeRollbackOnVerifyFailure' ./internal/target/
 	$(GO) test -race -run 'TestReplayRoundTrip|TestCoreDoesNotImportNicsim' ./internal/core/
 
+# fleet-sim drives the scripted fleet acceptance scenario through the
+# fleetd binary itself: 8 in-process emulated devices, one crashing and
+# one verify-failing, through canary halt, mid-wave rollback, graceful
+# degradation, and probation recovery. The same scenario runs as
+# TestFleetFaultScenario; this target exercises it through the daemon's
+# wiring rather than the test harness.
+fleet-sim:
+	$(GO) run ./cmd/fleetd -scenario
+
 # verify is the pre-merge gate: compile everything, vet, run the full
 # suite under the race detector (the runtime loop, control plane, and
 # fault-injection paths are concurrent), then the backend conformance
-# suite explicitly, then the bench-regression gate against the archived
-# baseline.
+# suite explicitly, then the scripted fleet scenario through fleetd,
+# then the bench-regression gate against the archived baseline.
 verify:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
 	$(MAKE) lint
 	$(MAKE) conformance
+	$(MAKE) fleet-sim
 	$(MAKE) benchcheck
 
 # traces regenerates the golden replay traces consumed by the core replay

@@ -47,6 +47,11 @@ var importRules = []importRule{
 		Path: "pipeleon/internal/nicsim",
 		Why:  "the runtime must reach devices through internal/target, never the emulator directly",
 	},
+	{
+		Dir:  "internal/fleet",
+		Path: "pipeleon/internal/nicsim",
+		Why:  "the fleet controller manages devices through internal/target; only binaries may construct emulators",
+	},
 }
 
 var determinismRules = []determinismRule{

@@ -145,6 +145,14 @@ func main() {
 	if faults != nil {
 		srvOpts = append(srvOpts, controlplane.WithFaultInjector(faults))
 	}
+	if rt != nil {
+		// Serve the runtime's aggregated counters (deploys, rollbacks,
+		// breaker state) on the stats op, so fleetd and `p4cctl stats` get
+		// a machine-readable health document instead of a bare ack.
+		srvOpts = append(srvOpts, controlplane.WithStatus(func() ([]byte, error) {
+			return json.Marshal(rt.Status())
+		}))
+	}
 	var backend controlplane.Backend
 	if rt != nil {
 		backend = rt

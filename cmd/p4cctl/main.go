@@ -13,9 +13,12 @@
 //	p4cctl delete -table acl1 -match 23
 //	p4cctl counters
 //	p4cctl program
+//	p4cctl stats
+//	p4cctl fleet status|rollout|optimize|quarantine|recover   (against fleetd)
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -40,6 +43,11 @@ func main() {
 		usage()
 	}
 	verb := flag.Arg(0)
+	if verb == "fleet" {
+		// Fleet subcommands talk HTTP to fleetd, not TCP to a nicd.
+		runFleet(flag.Args()[1:])
+		return
+	}
 
 	sub := flag.NewFlagSet(verb, flag.ExitOnError)
 	table := sub.String("table", "", "table name (original program)")
@@ -123,6 +131,17 @@ func main() {
 			fatal("encoding: %v", err)
 		}
 		fmt.Println(string(data))
+	case "stats":
+		raw, err := cl.Stats()
+		if err != nil {
+			fatal("stats: %v", err)
+		}
+		var pretty bytes.Buffer
+		if json.Indent(&pretty, raw, "", "  ") == nil {
+			fmt.Println(pretty.String())
+		} else {
+			fmt.Println(string(raw))
+		}
 	default:
 		usage()
 	}
@@ -185,7 +204,8 @@ func splitArgs(s string) []string {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: p4cctl [-addr host:port] ping|insert|modify|delete|counters|program [flags]")
+	fmt.Fprintln(os.Stderr, "usage: p4cctl [-addr host:port] ping|insert|modify|delete|counters|program|stats [flags]")
+	fmt.Fprintln(os.Stderr, "       p4cctl fleet [-fleet URL] status|rollout|optimize|quarantine|recover [flags]")
 	os.Exit(2)
 }
 

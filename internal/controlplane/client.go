@@ -35,11 +35,18 @@ type RetryPolicy struct {
 	// JitterFrac randomizes each backoff by ±frac to desynchronize
 	// reconnect storms.
 	JitterFrac float64
+	// MaxElapsed caps the total wall-clock time one call may spend across
+	// all attempts, backoffs included. Without it a call against a slow
+	// or hung server is bounded only by MaxAttempts × (Timeout + backoff)
+	// — long enough to stall a fleet rollout wave behind one sick device.
+	// Once the deadline passes, the call returns the last error instead
+	// of starting another attempt. <=0 disables the cap.
+	MaxElapsed time.Duration
 }
 
 // DefaultRetryPolicy is what Dial installs.
 func DefaultRetryPolicy() RetryPolicy {
-	return RetryPolicy{MaxAttempts: 3, BaseBackoff: 50 * time.Millisecond, MaxBackoff: 2 * time.Second, JitterFrac: 0.2}
+	return RetryPolicy{MaxAttempts: 3, BaseBackoff: 50 * time.Millisecond, MaxBackoff: 2 * time.Second, JitterFrac: 0.2, MaxElapsed: 15 * time.Second}
 }
 
 // Client is a synchronous control-plane client. It is safe for concurrent
@@ -117,20 +124,47 @@ func (c *Client) call(req *Request) (*Response, error) {
 	if attempts < 1 {
 		attempts = 1
 	}
+	start := time.Now()
+	// overall is the wall-clock deadline for the whole call (zero = no
+	// cap): backoff sleeps, reconnects, and the round trips themselves
+	// are all clamped to it, so a hung server cannot hold a caller for
+	// MaxAttempts full timeouts.
+	var overall time.Time
+	if max := c.Retry.MaxElapsed; max > 0 {
+		overall = start.Add(max)
+	}
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(c.backoff(attempt))
+			sleep := c.backoff(attempt)
+			// Never start an attempt (or even its backoff sleep) that the
+			// deadline has already overtaken. The attempt cap bounds work;
+			// this bounds time.
+			if !overall.IsZero() && time.Now().Add(sleep).After(overall) {
+				return nil, fmt.Errorf("controlplane: %s deadline exceeded after %d attempts (%.1fs elapsed, cap %s): %w",
+					req.Op, attempt, time.Since(start).Seconds(), c.Retry.MaxElapsed, lastErr)
+			}
+			time.Sleep(sleep)
 		}
 		if c.conn == nil {
-			conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout())
+			dt := c.dialTimeout()
+			if !overall.IsZero() {
+				if rem := time.Until(overall); rem < dt {
+					dt = rem
+				}
+			}
+			if dt <= 0 {
+				return nil, fmt.Errorf("controlplane: %s deadline exceeded while reconnecting (cap %s): %w",
+					req.Op, c.Retry.MaxElapsed, lastErr)
+			}
+			conn, err := net.DialTimeout("tcp", c.addr, dt)
 			if err != nil {
 				lastErr = err
 				continue
 			}
 			c.conn = conn
 		}
-		resp, err := c.roundTrip(req)
+		resp, err := c.roundTrip(req, overall)
 		if err == nil {
 			return resp, nil
 		}
@@ -146,11 +180,15 @@ func (c *Client) call(req *Request) (*Response, error) {
 	return nil, fmt.Errorf("controlplane: %s failed after %d attempts: %w", req.Op, attempts, lastErr)
 }
 
-// roundTrip performs one attempt on the current connection. A non-nil
-// Response with a non-nil error marks a server-delivered failure that
-// must not be retried.
-func (c *Client) roundTrip(req *Request) (*Response, error) {
+// roundTrip performs one attempt on the current connection, its I/O
+// deadline clamped to the call's overall elapsed-time cap (zero overall =
+// per-attempt timeout only). A non-nil Response with a non-nil error
+// marks a server-delivered failure that must not be retried.
+func (c *Client) roundTrip(req *Request, overall time.Time) (*Response, error) {
 	deadline := time.Now().Add(c.timeout())
+	if !overall.IsZero() && overall.Before(deadline) {
+		deadline = overall
+	}
 	if err := c.conn.SetDeadline(deadline); err != nil {
 		return nil, err
 	}
@@ -210,6 +248,19 @@ func (c *Client) backoff(attempt int) time.Duration {
 func (c *Client) Ping() error {
 	_, err := c.call(&Request{Op: OpPing})
 	return err
+}
+
+// Stats fetches the server's machine-readable status document. For a
+// nicd running an on-box optimizer this is the runtime's aggregate
+// core.RuntimeStatus JSON (rolled-back deploys, breaker state, …); the
+// raw message is returned so fleet aggregators can decode it into
+// whatever schema the far end advertises.
+func (c *Client) Stats() (json.RawMessage, error) {
+	resp, err := c.call(&Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
 }
 
 // InsertEntry installs an entry into a table of the original program.

@@ -77,6 +77,16 @@ func WithFaultInjector(inj faultinject.Injector) ServerOption {
 	return func(s *Server) { s.faults = inj }
 }
 
+// WithStatus makes OpStats serve the JSON document produced by fn —
+// typically the runtime's aggregate status (core.Runtime.Status) — so
+// remote observers like fleetd can read rollback/breaker counts without
+// replaying round history. The option keeps this package decoupled from
+// internal/core: the server never names the status type, it just
+// forwards bytes.
+func WithStatus(fn func() ([]byte, error)) ServerOption {
+	return func(s *Server) { s.statusFn = fn }
+}
+
 // WithDevice exposes dev over the device operations (deploy / commit /
 // rollback / measure / profile / cachestats / capabilities), making the
 // server the far end of a target/remote backend. The backend may then be
@@ -94,6 +104,7 @@ type Server struct {
 	ln        net.Listener
 	idem      *idemCache
 	faults    faultinject.Injector
+	statusFn  func() ([]byte, error) // optional, for OpStats
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -380,6 +391,14 @@ func (s *Server) apply(req *Request) *Response {
 		}
 		resp.Data = data
 	case OpStats:
+		if s.statusFn != nil {
+			data, err := s.statusFn()
+			if err != nil {
+				return fail(err)
+			}
+			resp.Data = data
+			break
+		}
 		data, err := json.Marshal(map[string]any{"ok": true})
 		if err != nil {
 			return fail(err)

@@ -1,0 +1,95 @@
+package core
+
+// RuntimeStatus is the machine-readable aggregate of a runtime's health:
+// everything a fleet controller needs to judge one device's optimization
+// loop without replaying its per-round RoundReport history. All counters
+// are cumulative since the runtime was built; the booleans reflect the
+// state the next round would observe. The struct is JSON-stable so it can
+// cross the control-plane wire (OpStats) and be aggregated by fleetd.
+type RuntimeStatus struct {
+	// Round is the number of completed optimization rounds.
+	Round int `json:"round"`
+	// Deploys counts rounds that swapped a new program in (including
+	// those later rolled back).
+	Deploys int `json:"deploys"`
+	// RolledBack counts deploys undone by the verification window.
+	RolledBack int `json:"rolled_back"`
+	// DeployErrors counts rounds whose swap, verify, commit, or rollback
+	// failed outright.
+	DeployErrors int `json:"deploy_errors"`
+	// BreakerOpenRounds counts rounds skipped because the redeploy
+	// circuit breaker was open.
+	BreakerOpenRounds int `json:"breaker_open_rounds"`
+	// BreakerOpen reports whether the breaker would still pause the next
+	// round.
+	BreakerOpen bool `json:"breaker_open"`
+	// ConsecutiveFailures is the current failed/rolled-back deploy streak
+	// feeding the breaker.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// BlacklistedPlans is the number of plans currently barred from
+	// redeployment.
+	BlacklistedPlans int `json:"blacklisted_plans"`
+	// PlanBlacklistedRounds counts rounds whose chosen plan was withheld
+	// by the blacklist.
+	PlanBlacklistedRounds int `json:"plan_blacklisted_rounds"`
+	// SkippedUnchanged counts rounds skipped by profile-change detection.
+	SkippedUnchanged int `json:"skipped_unchanged"`
+	// Errors counts rounds with a search/collection error.
+	Errors int `json:"errors"`
+	// LastError is the most recent round error or deploy error ("" when
+	// the latest rounds were clean).
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Status aggregates the round history and live guard state into a
+// RuntimeStatus. Before this existed, BreakerOpen/RolledBack outcomes
+// lived only in individual RoundReports, forcing remote observers to
+// fetch and fold the whole history themselves.
+func (r *Runtime) Status() RuntimeStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RuntimeStatus{
+		Round:               r.round,
+		BreakerOpen:         r.round < r.breakerOpenUntil,
+		ConsecutiveFailures: r.consecFailures,
+	}
+	// Count only live blacklist entries; expired ones are garbage-collected
+	// lazily on lookup and must not be reported as active.
+	for _, exp := range r.blacklist {
+		if r.round <= exp {
+			st.BlacklistedPlans++
+		}
+	}
+	for _, rep := range r.history {
+		if rep.Deployed {
+			st.Deploys++
+		}
+		if rep.RolledBack {
+			st.RolledBack++
+		}
+		if rep.DeployError != "" {
+			st.DeployErrors++
+		}
+		if rep.BreakerOpen {
+			st.BreakerOpenRounds++
+		}
+		if rep.PlanBlacklisted {
+			st.PlanBlacklistedRounds++
+		}
+		if rep.SkippedUnchanged {
+			st.SkippedUnchanged++
+		}
+		if rep.Error != "" {
+			st.Errors++
+		}
+		switch {
+		case rep.Error != "":
+			st.LastError = rep.Error
+		case rep.DeployError != "":
+			st.LastError = rep.DeployError
+		case rep.Deployed && !rep.RolledBack:
+			st.LastError = ""
+		}
+	}
+	return st
+}

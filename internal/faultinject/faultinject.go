@@ -41,6 +41,13 @@ const (
 	// PointPlan is consulted by the runtime after plan search; Scale
 	// inflates the predicted gain to model cost-model misprediction.
 	PointPlan Point = "plan"
+	// PointProbe is consulted by the fleet controller's health probes;
+	// Fail marks the device unreachable, Delay models a hung probe.
+	PointProbe Point = "probe"
+	// PointMeasure is consulted around device measurements (fleet rollout
+	// verification windows); Fail rejects the measurement, Scale inflates
+	// the measured mean latency to model a deploy that regressed.
+	PointMeasure Point = "measure"
 )
 
 // Decision tells an instrumented site what to do. The zero value injects
@@ -294,14 +301,14 @@ func ParseSpec(spec string, seed uint64) (Injector, error) {
 
 func knownPoint(p Point) bool {
 	switch p {
-	case PointDeploy, PointConnRead, PointConnWrite, PointCounters, PointPlan:
+	case PointDeploy, PointConnRead, PointConnWrite, PointCounters, PointPlan, PointProbe, PointMeasure:
 		return true
 	}
 	return false
 }
 
 func knownPoints() string {
-	pts := []string{string(PointDeploy), string(PointConnRead), string(PointConnWrite), string(PointCounters), string(PointPlan)}
+	pts := []string{string(PointDeploy), string(PointConnRead), string(PointConnWrite), string(PointCounters), string(PointPlan), string(PointProbe), string(PointMeasure)}
 	sort.Strings(pts)
 	return strings.Join(pts, ", ")
 }

@@ -1,0 +1,84 @@
+package fleet
+
+import (
+	"time"
+
+	"pipeleon/internal/faultinject"
+	"pipeleon/internal/p4ir"
+	"pipeleon/internal/packet"
+	"pipeleon/internal/profile"
+	"pipeleon/internal/target"
+)
+
+// FaultTarget wraps a Target with an injector consulted at the fleet's
+// device-facing fault points, so fleet tests and the fleetd simulator can
+// script device failures without a real crashing NIC:
+//
+//   - PointDeploy around Deploy — Fail rejects the deploy (leaving the old
+//     program running, like a nicd that died mid-push), Delay stalls it.
+//   - PointProbe around Profile — Fail models an unreachable device,
+//     Delay a hung probe (exercising the probe timeout), Zero an empty
+//     profile from a freshly restarted device.
+//   - PointMeasure around Measure — Fail rejects the measurement, Scale
+//     multiplies the measured latencies, modelling a deploy that actually
+//     regressed the device so verification must catch it.
+//
+// All other Target methods pass through.
+type FaultTarget struct {
+	target.Target
+	Faults faultinject.Injector
+}
+
+// WithFaults wraps tgt with the injector.
+func WithFaults(tgt target.Target, inj faultinject.Injector) *FaultTarget {
+	return &FaultTarget{Target: tgt, Faults: inj}
+}
+
+// Deploy consults PointDeploy before delegating.
+func (f *FaultTarget) Deploy(prog *p4ir.Program) error {
+	d := faultinject.At(f.Faults, faultinject.PointDeploy)
+	if d.Delay > 0 {
+		time.Sleep(d.Delay)
+	}
+	if d.Fail {
+		return d.Error()
+	}
+	if d.Silent {
+		// Report success without applying — the device silently kept the
+		// old program, so the rollout's fingerprint bookkeeping is wrong.
+		return nil
+	}
+	return f.Target.Deploy(prog)
+}
+
+// Profile consults PointProbe before delegating.
+func (f *FaultTarget) Profile(reset bool) (*profile.Profile, error) {
+	d := faultinject.At(f.Faults, faultinject.PointProbe)
+	if d.Delay > 0 {
+		time.Sleep(d.Delay)
+	}
+	if d.Fail {
+		return nil, d.Error()
+	}
+	if d.Zero {
+		return profile.New(), nil
+	}
+	return f.Target.Profile(reset)
+}
+
+// Measure consults PointMeasure before delegating.
+func (f *FaultTarget) Measure(pkts []*packet.Packet) (target.Measurement, error) {
+	d := faultinject.At(f.Faults, faultinject.PointMeasure)
+	if d.Delay > 0 {
+		time.Sleep(d.Delay)
+	}
+	if d.Fail {
+		return target.Measurement{}, d.Error()
+	}
+	m, err := f.Target.Measure(pkts)
+	if err == nil && d.Scale > 0 {
+		m.MeanLatencyNs *= d.Scale
+		m.P99LatencyNs *= d.Scale
+	}
+	return m, err
+}

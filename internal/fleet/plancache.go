@@ -1,0 +1,171 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"pipeleon/internal/p4ir"
+	"pipeleon/internal/profile"
+)
+
+// PlanEntry is one cached optimization result: the program produced by a
+// plan search, keyed by what made the search reusable — the base program,
+// the device model (cost model), and a quantized profile signature.
+type PlanEntry struct {
+	Fingerprint string   `json:"fingerprint"`
+	Model       string   `json:"model"`
+	Signature   string   `json:"signature"`
+	Plan        []string `json:"plan"`
+	Gain        float64  `json:"gain_ns"`
+	// Source records how the entry was produced ("search"); Get flips the
+	// returned copy to "cache" so callers can report reuse.
+	Source string `json:"source"`
+	// Program is the optimized program. Get hands out clones — cached
+	// entries must never alias a deployed program.
+	Program *p4ir.Program `json:"-"`
+}
+
+// PlanCacheStats is the cache's machine-readable counter snapshot.
+type PlanCacheStats struct {
+	Entries int    `json:"entries"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+}
+
+// PlanCache is the fleet's shared plan cache. One canary's optimization
+// search (seconds of knapsack work under the cost model) is reused for
+// every device with the same base program, the same model, and a similar
+// enough traffic profile — the similarity relation is equality of the
+// quantized ProfileSignature. Eviction is FIFO; safe for concurrent use.
+type PlanCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*PlanEntry
+	order   []string
+	hits    uint64
+	misses  uint64
+}
+
+// NewPlanCache returns a cache holding at most max entries (<=0 → 128).
+func NewPlanCache(max int) *PlanCache {
+	if max <= 0 {
+		max = 128
+	}
+	return &PlanCache{max: max, entries: map[string]*PlanEntry{}}
+}
+
+func cacheKey(fp, model, sig string) string {
+	return fp + "|" + model + "|" + sig
+}
+
+// Get returns a copy of the cached entry for the key triple, with a
+// cloned Program, or ok=false on a miss.
+func (pc *PlanCache) Get(fp, model, sig string) (*PlanEntry, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	e, ok := pc.entries[cacheKey(fp, model, sig)]
+	if !ok {
+		pc.misses++
+		return nil, false
+	}
+	pc.hits++
+	cp := *e
+	cp.Source = "cache"
+	if e.Program != nil {
+		cp.Program = e.Program.Clone()
+	}
+	cp.Plan = append([]string(nil), e.Plan...)
+	return &cp, true
+}
+
+// Put stores the entry (cloning its Program), evicting the oldest entry
+// when full.
+func (pc *PlanCache) Put(e *PlanEntry) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	key := cacheKey(e.Fingerprint, e.Model, e.Signature)
+	cp := *e
+	if e.Program != nil {
+		cp.Program = e.Program.Clone()
+	}
+	cp.Plan = append([]string(nil), e.Plan...)
+	if _, exists := pc.entries[key]; !exists {
+		pc.order = append(pc.order, key)
+		for len(pc.order) > pc.max {
+			oldest := pc.order[0]
+			pc.order = pc.order[1:]
+			delete(pc.entries, oldest)
+		}
+	}
+	pc.entries[key] = &cp
+}
+
+// Stats returns the cache counters.
+func (pc *PlanCache) Stats() PlanCacheStats {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return PlanCacheStats{Entries: len(pc.entries), Hits: pc.hits, Misses: pc.misses}
+}
+
+// Fingerprint returns a stable short hash of a program's canonical JSON
+// form — the identity rollouts and the plan cache key on. p4ir's
+// MarshalJSON is deterministic (sorted nodes), so equal programs hash
+// equal across processes.
+func Fingerprint(p *p4ir.Program) string {
+	if p == nil {
+		return ""
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
+}
+
+// ProfileSignature quantizes a runtime profile into a similarity key for
+// the plan cache: per-table traffic shares bucketed into sixteenths,
+// per-table drop probability bucketed into tenths, and entry-update rates
+// bucketed by decade. Profiles that would drive the §3 heuristics to the
+// same choices land in the same bucket string, so a canary's plan is
+// reused; a real traffic shift (a table going cold, a drop rate flipping,
+// an update storm) changes the signature and forces a fresh search.
+func ProfileSignature(prog *p4ir.Program, prof *profile.Profile) string {
+	if prog == nil || prof == nil {
+		return "empty"
+	}
+	names := make([]string, 0, len(prog.Tables))
+	for name := range prog.Tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var total uint64
+	for _, name := range names {
+		total += prof.TableTotal(name)
+	}
+	var b strings.Builder
+	for _, name := range names {
+		t := prog.Tables[name]
+		var share, drop float64
+		if total > 0 {
+			share = float64(prof.TableTotal(name)) / float64(total)
+			drop = prof.DropProb(t)
+		}
+		upd := prof.UpdateRate(name)
+		updBucket := 0
+		if upd >= 1 {
+			updBucket = 1 + int(math.Log10(upd))
+		}
+		fmt.Fprintf(&b, "%s:%d.%d.%d;", name,
+			int(share*16+0.5), int(drop*10+0.5), updBucket)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:6])
+}
