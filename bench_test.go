@@ -484,6 +484,74 @@ func BenchmarkSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkSearchCold measures one full optimization round on a fresh
+// session per iteration — everything (partition, dependency analysis,
+// candidate enumeration, verification) from scratch. The warm/cold pair
+// is the headline of the incremental search engine: same program, same
+// profile, identical (bit-for-bit) results.
+func BenchmarkSearchCold(b *testing.B) {
+	prog, cfg, pm, _ := ablationSearchInput()
+	prof := synth.SynthesizeProfile(prog, synth.ProfileSpec{Seed: 7, Category: synth.Mixed})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := opt.NewSession(prog, pm, *cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Search(prof); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchWarm measures a repeat round on a warm session with an
+// unchanged profile — the steady state of the runtime's round loop when
+// traffic holds still: memo hits everywhere, no enumeration, no
+// re-verification.
+func BenchmarkSearchWarm(b *testing.B) {
+	prog, cfg, pm, _ := ablationSearchInput()
+	prof := synth.SynthesizeProfile(prog, synth.ProfileSpec{Seed: 7, Category: synth.Mixed})
+	s, err := opt.NewSession(prog, pm, *cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Search(prof); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Search(prof); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweep measures design-space exploration: one program evaluated
+// across six (cost model, config) points sharing the program-derived
+// analyses.
+func BenchmarkSweep(b *testing.B) {
+	prog, cfg, pm, _ := ablationSearchInput()
+	prof := synth.SynthesizeProfile(prog, synth.ProfileSpec{Seed: 7, Category: synth.Mixed})
+	short := *cfg
+	short.MaxPipeletLen = 4
+	merged := *cfg
+	merged.MergeCap = 3
+	points := []opt.SweepPoint{
+		{Params: pm, Config: *cfg},
+		{Params: costmodel.BlueField2(), Config: *cfg},
+		{Params: costmodel.AgilioCX(), Config: *cfg},
+		{Params: pm, Config: short},
+		{Params: costmodel.BlueField2(), Config: merged},
+		{Params: costmodel.AgilioCX(), Config: short},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.Sweep(prog, prof, points, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkApplyPlan measures graph rewriting.
 func BenchmarkApplyPlan(b *testing.B) {
 	prog, cfg, pm, _ := ablationSearchInput()

@@ -127,6 +127,11 @@ func printFleetStatus(st fleet.Status) {
 	fmt.Printf("rollouts: %d total, %d halted, %d fleet rollbacks; plan cache %d entries (%d hits / %d misses)\n",
 		st.Rollouts, st.HaltedRollouts, st.FleetRollbacks,
 		st.PlanCache.Entries, st.PlanCache.Hits, st.PlanCache.Misses)
+	fmt.Printf("search: %d warm sessions, %d rounds in %s; unit memo %d hits / %d misses, verify memo %d hits / %d misses\n",
+		st.OptSearch.Sessions, st.OptSearch.Rounds,
+		time.Duration(st.OptSearch.TotalSearchNs),
+		st.OptSearch.UnitHits, st.OptSearch.UnitMisses,
+		st.OptSearch.VerifyHits, st.OptSearch.VerifyMisses)
 	for _, d := range st.Devices {
 		line := fmt.Sprintf("  %-12s %-11s model=%s probes=%d/%d deploys=%d/%d rollbacks=%d",
 			d.Name, d.State, d.Model, d.Probes-d.ProbeFails, d.Probes,

@@ -39,20 +39,112 @@ const (
 // witness field. Annotation-only rewrites (memory-tier pinning) pass
 // trivially.
 func VerifyRewrite(orig, opt *p4ir.Program) diag.List {
+	return NewRewriteChecker(orig).Verify(opt)
+}
+
+// depEdge is one classified dependency edge of the original program: u
+// must execute before v because of a kind dependency witnessed by field.
+type depEdge struct {
+	u, v        string
+	kind, field string
+}
+
+// RewriteChecker amortizes rewrite verification over many candidate
+// rewrites of one original program. Construction performs everything that
+// depends only on the original — the structural gate, the dependency
+// graph, and the full classified dependency-edge list — so each Verify
+// call only analyzes the candidate program. Safe for concurrent use once
+// built (all precomputed state is read-only).
+type RewriteChecker struct {
+	origDiags int // structural diagnostics count when the original is invalid
+	gO        *graph
+	edges     []depEdge
+}
+
+// NewRewriteChecker precomputes the original program's dependency
+// structure.
+func NewRewriteChecker(orig *p4ir.Program) *RewriteChecker {
+	rc := &RewriteChecker{}
 	if sd := orig.StructuralDiagnostics(); sd.HasErrors() {
+		rc.origDiags = len(sd)
+		return rc
+	}
+	rc.gO = newGraph(orig)
+	nodes := append([]string(nil), rc.gO.topo...)
+	sort.Strings(nodes)
+	for _, u := range nodes {
+		for _, v := range nodes {
+			if u == v || !rc.gO.desc[u][v] {
+				continue
+			}
+			kind, field := edgeBetween(rc.gO, u, v)
+			if kind == "" {
+				continue
+			}
+			rc.edges = append(rc.edges, depEdge{u: u, v: v, kind: kind, field: field})
+		}
+	}
+	return rc
+}
+
+// Verify checks a full rewrite; the result is identical to
+// VerifyRewrite(orig, opt).
+func (rc *RewriteChecker) Verify(opt *p4ir.Program) diag.List {
+	return rc.verify(opt, nil)
+}
+
+// VerifyTouched restricts the dependency-edge check to edges with at
+// least one endpoint in touched — sound when every node the rewrite
+// rewired, deleted, or generated is in the set, because an edge between
+// two untouched nodes keeps its original wiring and relative order. Node
+// representation (RW001/RW003) and declared-transform legality (RW004)
+// are still checked in full; both scan only annotated or unreachable
+// nodes, so they are cheap.
+func (rc *RewriteChecker) VerifyTouched(opt *p4ir.Program, touched map[string]bool) diag.List {
+	return rc.verify(opt, touched)
+}
+
+func (rc *RewriteChecker) verify(opt *p4ir.Program, touched map[string]bool) diag.List {
+	if rc.gO == nil {
 		var l diag.List
 		l.Add(CodeVerifyInput, diag.Error, "", "",
-			"original program is structurally invalid (%d diagnostics); run the structural analyzer on it first", len(sd))
+			"original program is structurally invalid (%d diagnostics); run the structural analyzer on it first", rc.origDiags)
 		return l
 	}
 	if sd := opt.StructuralDiagnostics(); sd.HasErrors() {
 		sd.Sort()
 		return sd
 	}
-	gO, gN := newGraph(orig), newGraph(opt)
-	l, rep, coverIdx := representation(gO, gN)
-	l = append(l, verifyEdges(gO, gN, rep, coverIdx)...)
-	l = append(l, verifyTransforms(gO, gN)...)
+	gN := newGraph(opt)
+	l, rep, coverIdx := representation(rc.gO, gN)
+	for _, e := range rc.edges {
+		if touched != nil && !touched[e.u] && !touched[e.v] {
+			continue
+		}
+		ru, rv := rep[e.u], rep[e.v]
+		if ru == "" || rv == "" {
+			continue // RW001 already reported
+		}
+		if ru == rv {
+			// Both ends merged into one table: the combined action
+			// executes members in cover order.
+			idx := coverIdx[ru]
+			if idx != nil && idx[e.u] > idx[e.v] {
+				l.Add(CodeBrokenDep, diag.Error, ru, e.field,
+					"%s dependency %s→%s on %q is reversed inside merged table %q", e.kind, e.u, e.v, e.field, ru)
+			}
+			continue
+		}
+		switch {
+		case gN.desc[rv][ru]:
+			l.Add(CodeBrokenDep, diag.Error, rv, e.field,
+				"%s dependency %s→%s on %q is reversed: %q now precedes %q", e.kind, e.u, e.v, e.field, rv, ru)
+		case !gN.desc[ru][rv]:
+			l.Add(CodeBrokenDep, diag.Error, ru, e.field,
+				"%s dependency %s→%s on %q is lost: no path orders %q before %q", e.kind, e.u, e.v, e.field, ru, rv)
+		}
+	}
+	l = append(l, verifyTransforms(rc.gO, gN)...)
 	l.Sort()
 	return l
 }
@@ -127,48 +219,6 @@ func representation(gO, gN *graph) (diag.List, map[string]string, map[string]map
 			"original node is dropped or unreachable in the optimized program")
 	}
 	return l, rep, coverIdx
-}
-
-// verifyEdges checks every dependency edge of the original program against
-// the optimized precedence order.
-func verifyEdges(gO, gN *graph, rep map[string]string, coverIdx map[string]map[string]int) diag.List {
-	var l diag.List
-	nodes := append([]string(nil), gO.topo...)
-	sort.Strings(nodes)
-	for _, u := range nodes {
-		for _, v := range nodes {
-			if u == v || !gO.desc[u][v] {
-				continue
-			}
-			kind, field := edgeBetween(gO, u, v)
-			if kind == "" {
-				continue
-			}
-			ru, rv := rep[u], rep[v]
-			if ru == "" || rv == "" {
-				continue // RW001 already reported
-			}
-			if ru == rv {
-				// Both ends merged into one table: the combined action
-				// executes members in cover order.
-				idx := coverIdx[ru]
-				if idx != nil && idx[u] > idx[v] {
-					l.Add(CodeBrokenDep, diag.Error, ru, field,
-						"%s dependency %s→%s on %q is reversed inside merged table %q", kind, u, v, field, ru)
-				}
-				continue
-			}
-			switch {
-			case gN.desc[rv][ru]:
-				l.Add(CodeBrokenDep, diag.Error, rv, field,
-					"%s dependency %s→%s on %q is reversed: %q now precedes %q", kind, u, v, field, rv, ru)
-			case !gN.desc[ru][rv]:
-				l.Add(CodeBrokenDep, diag.Error, ru, field,
-					"%s dependency %s→%s on %q is lost: no path orders %q before %q", kind, u, v, field, ru, rv)
-			}
-		}
-	}
-	return l
 }
 
 // edgeBetween classifies the strongest dependency from u to v (RAW > WAW >

@@ -46,6 +46,12 @@ type Runtime struct {
 	cmap       *opt.CounterMap
 	activePlan []*opt.Option
 
+	// search is the warm optimizer session: it keeps the pipelet
+	// partition, dependency analysis, evaluator arrays, and per-unit
+	// candidate/verdict memos alive across rounds, so a round whose
+	// profile drifted only locally re-enumerates only the touched units.
+	search *opt.Session
+
 	lastUpdateCounts map[string]uint64
 	// updCountsOrig accumulates entry-update operations keyed by
 	// original-program table names (through the API mapping).
@@ -142,6 +148,15 @@ func NewRuntime(orig *p4ir.Program, tgt target.Target, cfg opt.Config) (*Runtime
 		updCountsOrig:     map[string]uint64{},
 		lastUpdCountsOrig: map[string]uint64{},
 	}
+	// The session shares r.cfg by value; the HitRateOverride map inside is
+	// aliased on purpose, so per-round feedback written by OptimizeOnce is
+	// visible to the warm search (its memo folds the overrides into every
+	// unit's material inputs).
+	search, err := opt.NewSession(r.orig, r.pm, r.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: partitioning program: %w", err)
+	}
+	r.search = search
 	if err := tgt.Deploy(r.current); err != nil {
 		return nil, err
 	}
@@ -278,7 +293,7 @@ func (r *Runtime) OptimizeOnce(window time.Duration) (RoundReport, error) {
 	}
 	r.lastCosts = newCosts
 
-	res, rw, err := opt.SearchAndApply(r.orig, origProf, r.pm, r.cfg)
+	res, rw, err := r.search.SearchAndApply(origProf)
 	if err != nil {
 		report.Error = err.Error()
 		record()
@@ -320,7 +335,7 @@ func (r *Runtime) OptimizeOnce(window time.Duration) (RoundReport, error) {
 	// plan (re-scored under the fresh profile) by RedeployMargin —
 	// otherwise keep the deployed layout and its warm caches.
 	if len(r.activePlan) > 0 && rw != nil {
-		curGain := opt.ReScore(r.orig, origProf, r.pm, r.cfg, r.activePlan)
+		curGain := r.search.ReScore(origProf, r.activePlan)
 		report.ActivePlanGain = curGain
 		if curGain > 0 && report.Gain < curGain*(1+r.cfg.RedeployMargin) {
 			record()

@@ -39,6 +39,20 @@ type RuntimeStatus struct {
 	// LastError is the most recent round error or deploy error ("" when
 	// the latest rounds were clean).
 	LastError string `json:"last_error,omitempty"`
+
+	// Warm-search session counters (see opt.SessionStats): how often the
+	// incremental optimizer reused memoized per-unit candidates and
+	// rewrite verdicts instead of re-enumerating, and what each round's
+	// search actually cost.
+	SearchRounds       int    `json:"search_rounds"`
+	SearchUnitHits     uint64 `json:"search_unit_hits"`
+	SearchUnitMisses   uint64 `json:"search_unit_misses"`
+	SearchVerifyHits   uint64 `json:"search_verify_hits"`
+	SearchVerifyMisses uint64 `json:"search_verify_misses"`
+	// LastSearchNs / TotalSearchNs are wall-clock search latencies in
+	// nanoseconds (last round / cumulative).
+	LastSearchNs  int64 `json:"last_search_ns"`
+	TotalSearchNs int64 `json:"total_search_ns"`
 }
 
 // Status aggregates the round history and live guard state into a
@@ -52,6 +66,16 @@ func (r *Runtime) Status() RuntimeStatus {
 		Round:               r.round,
 		BreakerOpen:         r.round < r.breakerOpenUntil,
 		ConsecutiveFailures: r.consecFailures,
+	}
+	if r.search != nil {
+		ss := r.search.Stats()
+		st.SearchRounds = ss.Rounds
+		st.SearchUnitHits = ss.UnitHits
+		st.SearchUnitMisses = ss.UnitMisses
+		st.SearchVerifyHits = ss.VerifyHits
+		st.SearchVerifyMisses = ss.VerifyMisses
+		st.LastSearchNs = ss.LastSearch.Nanoseconds()
+		st.TotalSearchNs = ss.TotalSearch.Nanoseconds()
 	}
 	// Count only live blacklist entries; expired ones are garbage-collected
 	// lazily on lookup and must not be reported as active.

@@ -27,6 +27,7 @@ package costmodel
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"pipeleon/internal/p4ir"
 	"pipeleon/internal/profile"
@@ -186,9 +187,17 @@ func (pm Params) NodeLatency(prog *p4ir.Program, prof *profile.Profile, name str
 // path-enumeration sum because path probabilities factor over edges.
 func ExpectedLatency(prog *p4ir.Program, prof *profile.Profile, pm Params) float64 {
 	reach := prof.ReachProbs(prog)
+	names := make([]string, 0, len(reach))
+	for name := range reach {
+		names = append(names, name)
+	}
+	// Summing in sorted order makes the float result reproducible across
+	// runs (map iteration order would otherwise wiggle the last ULP),
+	// which the warm/cold search bit-identity property relies on.
+	sort.Strings(names)
 	var total float64
-	for name, p := range reach {
-		total += p * pm.NodeLatency(prog, prof, name)
+	for _, name := range names {
+		total += reach[name] * pm.NodeLatency(prog, prof, name)
 	}
 	return total
 }

@@ -52,10 +52,11 @@ type Options struct {
 // Controller owns a fleet of devices. All methods are safe for concurrent
 // use; rollouts are serialized with each other.
 type Controller struct {
-	policy HealthPolicy
-	optCfg opt.Config
-	cache  *PlanCache
-	logf   func(string, ...any)
+	policy   HealthPolicy
+	optCfg   opt.Config
+	cache    *PlanCache
+	sessions *sessionPool
+	logf     func(string, ...any)
 
 	mu      sync.Mutex
 	devices []*device // registration order
@@ -87,11 +88,12 @@ func New(opts Options) *Controller {
 		logf = func(string, ...any) {}
 	}
 	return &Controller{
-		policy: pol,
-		optCfg: opts.Optimizer,
-		cache:  cache,
-		logf:   logf,
-		byName: map[string]*device{},
+		policy:   pol,
+		optCfg:   opts.Optimizer,
+		cache:    cache,
+		sessions: newSessionPool(),
+		logf:     logf,
+		byName:   map[string]*device{},
 	}
 }
 

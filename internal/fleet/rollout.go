@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"sync"
 
-	"pipeleon/internal/opt"
 	"pipeleon/internal/p4ir"
 	"pipeleon/internal/packet"
 	"pipeleon/internal/profile"
@@ -473,7 +472,14 @@ func (c *Controller) planFor(base *p4ir.Program, canary *device) (*PlanEntry, er
 	if e, ok := c.cache.Get(fp, model, sig); ok {
 		return e, nil
 	}
-	res, rw, err := opt.SearchAndApply(base, prof, canary.tgt.Capabilities().Params, c.optCfg)
+	// Plan-cache miss: the quantized signature moved. Search on the warm
+	// session for this (program, model) pair, which reuses the partition,
+	// dependency analysis, and every unit whose material inputs held still.
+	s, err := c.sessions.get(fp, model, base, canary.tgt.Capabilities().Params, c.optCfg)
+	if err != nil {
+		return nil, err
+	}
+	res, rw, err := s.SearchAndApply(prof)
 	if err != nil {
 		return nil, err
 	}

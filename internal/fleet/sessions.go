@@ -1,0 +1,114 @@
+package fleet
+
+import (
+	"sync"
+
+	"pipeleon/internal/costmodel"
+	"pipeleon/internal/opt"
+	"pipeleon/internal/p4ir"
+)
+
+// maxWarmSessions bounds the controller's warm-session pool. Each session
+// pins a program's partition, dependency analysis, and candidate memos in
+// memory, so the pool holds only the most recently introduced
+// (fingerprint, model) pairs — a fleet typically runs a handful of
+// programs at a time, and an evicted pair merely pays one cold search.
+const maxWarmSessions = 8
+
+// sessionPool caches warm optimizer sessions keyed by (program
+// fingerprint, device model). The plan cache already short-circuits
+// repeated searches whose quantized profile signature matches exactly; the
+// session pool accelerates the remaining case — a signature that did move,
+// for a program/model pair searched before — by reusing the session's
+// program-derived state and per-unit memos. FIFO eviction, like PlanCache.
+type sessionPool struct {
+	mu     sync.Mutex
+	order  []string
+	byKey  map[string]*opt.Session
+	hits   uint64
+	misses uint64
+}
+
+func newSessionPool() *sessionPool {
+	return &sessionPool{byKey: map[string]*opt.Session{}}
+}
+
+// get returns the warm session for (fp, model), building one from prog
+// when absent. Concurrent callers racing on the same key converge on the
+// first session inserted.
+func (sp *sessionPool) get(fp, model string, prog *p4ir.Program, pm costmodel.Params, cfg opt.Config) (*opt.Session, error) {
+	key := fp + "|" + model
+	sp.mu.Lock()
+	if s, ok := sp.byKey[key]; ok {
+		sp.hits++
+		sp.mu.Unlock()
+		return s, nil
+	}
+	sp.misses++
+	sp.mu.Unlock()
+
+	s, err := opt.NewSession(prog, pm, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if cur, ok := sp.byKey[key]; ok {
+		return cur, nil // lost the build race; keep the incumbent's memos
+	}
+	sp.byKey[key] = s
+	sp.order = append(sp.order, key)
+	if len(sp.order) > maxWarmSessions {
+		oldest := sp.order[0]
+		sp.order = sp.order[1:]
+		delete(sp.byKey, oldest)
+	}
+	return s, nil
+}
+
+// SearchSessionStats aggregates the controller's warm-session pool for
+// Status: pool effectiveness plus the summed per-session counters
+// (opt.SessionStats).
+type SearchSessionStats struct {
+	// Sessions is the number of live warm sessions.
+	Sessions int `json:"sessions"`
+	// PoolHits / PoolMisses count session-pool lookups.
+	PoolHits   uint64 `json:"pool_hits"`
+	PoolMisses uint64 `json:"pool_misses"`
+	// Rounds is the total searches served across live sessions.
+	Rounds int `json:"rounds"`
+	// UnitHits / UnitMisses count per-unit candidate-memo outcomes.
+	UnitHits   uint64 `json:"unit_hits"`
+	UnitMisses uint64 `json:"unit_misses"`
+	// VerifyHits / VerifyMisses count rewrite-verdict-memo outcomes.
+	VerifyHits   uint64 `json:"verify_hits"`
+	VerifyMisses uint64 `json:"verify_misses"`
+	// TotalSearchNs is the cumulative wall-clock search time in
+	// nanoseconds across live sessions.
+	TotalSearchNs int64 `json:"total_search_ns"`
+}
+
+func (sp *sessionPool) stats() SearchSessionStats {
+	sp.mu.Lock()
+	sessions := make([]*opt.Session, 0, len(sp.byKey))
+	for _, s := range sp.byKey {
+		sessions = append(sessions, s)
+	}
+	st := SearchSessionStats{
+		Sessions:   len(sp.byKey),
+		PoolHits:   sp.hits,
+		PoolMisses: sp.misses,
+	}
+	sp.mu.Unlock()
+	for _, s := range sessions {
+		ss := s.Stats()
+		st.Rounds += ss.Rounds
+		st.UnitHits += ss.UnitHits
+		st.UnitMisses += ss.UnitMisses
+		st.VerifyHits += ss.VerifyHits
+		st.VerifyMisses += ss.VerifyMisses
+		st.TotalSearchNs += ss.TotalSearch.Nanoseconds()
+	}
+	return st
+}

@@ -41,6 +41,10 @@ type Status struct {
 	FleetRollbacks uint64 `json:"fleet_rollbacks"`
 
 	PlanCache PlanCacheStats `json:"plan_cache"`
+	// OptSearch aggregates the warm optimizer-session pool: searches
+	// served, per-unit candidate-memo and verdict-memo hit rates, and
+	// cumulative search time.
+	OptSearch SearchSessionStats `json:"opt_search"`
 }
 
 // Status returns the aggregate fleet snapshot.
@@ -86,6 +90,7 @@ func (c *Controller) Status() Status {
 	st.FleetRollbacks = c.fleetRollbacks
 	c.mu.Unlock()
 	st.PlanCache = c.cache.Stats()
+	st.OptSearch = c.sessions.stats()
 	return st
 }
 

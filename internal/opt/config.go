@@ -148,6 +148,13 @@ func (c Config) hitEstimate(spanKey string, ws uint64) float64 {
 	if h, ok := c.HitRateOverride[spanKey]; ok {
 		return h
 	}
+	return c.hitEstimateNoOverride(ws)
+}
+
+// hitEstimateNoOverride is the model part of hitEstimate. The dense
+// candidate loop calls it directly so the span-key string (which exists
+// only to key HitRateOverride) is never built when no overrides are set.
+func (c Config) hitEstimateNoOverride(ws uint64) float64 {
 	if ws == 0 {
 		return c.EstimatedHitRate
 	}

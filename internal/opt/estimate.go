@@ -1,6 +1,8 @@
 package opt
 
 import (
+	"sort"
+
 	"pipeleon/internal/costmodel"
 	"pipeleon/internal/deps"
 	"pipeleon/internal/p4ir"
@@ -9,8 +11,11 @@ import (
 )
 
 // Evaluator scores candidate transformations with the cost model under the
-// current runtime profile. It caches per-table quantities so that the
-// (many) candidates of a search round evaluate in microseconds.
+// current runtime profile. Per-table quantities live in dense slices over
+// a stable node ordering (sorted tables, then sorted conds) so the hot
+// candidate loop runs map-free, and refresh swaps in a new profile without
+// rebuilding the static program-derived quantities — which is what lets a
+// warm Session reuse one Evaluator across rounds.
 type Evaluator struct {
 	prog *p4ir.Program
 	prof *profile.Profile
@@ -18,45 +23,153 @@ type Evaluator struct {
 	cfg  Config
 	an   *deps.Analyzer
 
-	reach    map[string]float64
-	dropRate map[string]float64
+	// Stable dense node ordering: tables first (sorted), then conds
+	// (sorted). Table-only quantities are zero at cond slots.
+	nodeIdx   map[string]int
+	nodeNames []string
+	numTables int
+
+	// Static quantities (program + cost model, fixed for the Evaluator's
+	// lifetime).
 	// matchLat / actLat split each table's latency into the key-match part
 	// (m·Lmat) and the expected action part (Σ P(a)·n_a·Lact).
-	matchLat map[string]float64
-	actLat   map[string]float64
-	card     map[string]uint64
-	entries  map[string]int
+	matchLat []float64
+	entries  []int
+	exact    []bool
+	mcomp    []int
+	memBytes []int
+
+	// Profile-dependent quantities, recomputed in place by refresh.
+	reach    []float64
+	dropRate []float64
+	actLat   []float64
+	card     []uint64
+	updRate  []float64
+
+	// dropByName mirrors dropRate under table names for the exported
+	// order-enumeration API (GreedyDropOrder takes a name-keyed map).
+	dropByName map[string]float64
 }
 
 // NewEvaluator precomputes per-table model quantities.
 func NewEvaluator(prog *p4ir.Program, prof *profile.Profile, pm costmodel.Params, cfg Config) *Evaluator {
-	ev := &Evaluator{
-		prog: prog, prof: prof, pm: pm, cfg: cfg,
-		an:       deps.NewAnalyzer(prog),
-		reach:    prof.ReachProbs(prog),
-		dropRate: map[string]float64{},
-		matchLat: map[string]float64{},
-		actLat:   map[string]float64{},
-		card:     map[string]uint64{},
-		entries:  map[string]int{},
+	return newEvaluator(prog, prof, pm, cfg, deps.NewAnalyzer(prog))
+}
+
+// newEvaluator is NewEvaluator with an injected dependency analyzer, so
+// many evaluators over one program (a sweep's points) share the analysis.
+// The analyzer is eager and read-only after construction, hence safe to
+// share across goroutines.
+func newEvaluator(prog *p4ir.Program, prof *profile.Profile, pm costmodel.Params, cfg Config, an *deps.Analyzer) *Evaluator {
+	ev := &Evaluator{prog: prog, pm: pm, cfg: cfg, an: an}
+	tnames := make([]string, 0, len(prog.Tables))
+	for name := range prog.Tables {
+		tnames = append(tnames, name)
 	}
-	for name, t := range prog.Tables {
-		ev.dropRate[name] = prof.DropProb(t)
-		ev.matchLat[name] = float64(pm.MatchComplexity(t)) * pm.Lmat
+	sort.Strings(tnames)
+	cnames := make([]string, 0, len(prog.Conds))
+	for name := range prog.Conds {
+		cnames = append(cnames, name)
+	}
+	sort.Strings(cnames)
+	n := len(tnames) + len(cnames)
+	ev.numTables = len(tnames)
+	ev.nodeNames = append(append(make([]string, 0, n), tnames...), cnames...)
+	ev.nodeIdx = make(map[string]int, n)
+	for i, name := range ev.nodeNames {
+		ev.nodeIdx[name] = i
+	}
+	ev.matchLat = make([]float64, n)
+	ev.entries = make([]int, n)
+	ev.exact = make([]bool, n)
+	ev.mcomp = make([]int, n)
+	ev.memBytes = make([]int, n)
+	for i, name := range tnames {
+		t := prog.Tables[name]
+		ev.matchLat[i] = float64(pm.MatchComplexity(t)) * pm.Lmat
+		ev.entries[i] = len(t.Entries)
+		ev.exact[i] = t.WidestMatchKind() == p4ir.MatchExact
+		ev.mcomp[i] = pm.MatchComplexity(t)
+		ev.memBytes[i] = t.MemoryBytes()
+	}
+	ev.reach = make([]float64, n)
+	ev.dropRate = make([]float64, n)
+	ev.actLat = make([]float64, n)
+	ev.card = make([]uint64, n)
+	ev.updRate = make([]float64, n)
+	ev.dropByName = make(map[string]float64, len(tnames))
+	ev.refresh(prof)
+	return ev
+}
+
+// refresh recomputes the profile-dependent quantities in place, reusing
+// the dense backing arrays. A warm session's per-round evaluator cost is
+// therefore the per-table model math, not allocation.
+func (ev *Evaluator) refresh(prof *profile.Profile) {
+	ev.prof = prof
+	for i := range ev.reach {
+		ev.reach[i] = 0
+	}
+	for name, v := range prof.ReachProbs(ev.prog) {
+		if i, ok := ev.nodeIdx[name]; ok {
+			ev.reach[i] = v
+		}
+	}
+	for i := 0; i < ev.numTables; i++ {
+		name := ev.nodeNames[i]
+		t := ev.prog.Tables[name]
+		drop := prof.DropProb(t)
+		ev.dropRate[i] = drop
+		ev.dropByName[name] = drop
 		probs := prof.ActionProb(t)
 		var act float64
 		for _, a := range t.Actions {
-			act += probs[a.Name] * float64(a.NumPrimitives()) * pm.Lact
+			act += probs[a.Name] * float64(a.NumPrimitives()) * ev.pm.Lact
 		}
-		ev.actLat[name] = act
-		ev.card[name] = prof.Cardinality(name, cfg.DefaultCardinality)
-		ev.entries[name] = len(t.Entries)
+		ev.actLat[i] = act
+		ev.card[i] = prof.Cardinality(name, ev.cfg.DefaultCardinality)
+		ev.updRate[i] = prof.UpdateRate(name)
 	}
-	return ev
 }
 
 // Analyzer exposes the dependency analyzer (shared with rewriting).
 func (ev *Evaluator) Analyzer() *deps.Analyzer { return ev.an }
+
+// idxOf returns a node's dense index, or -1 for unknown names.
+func (ev *Evaluator) idxOf(name string) int {
+	if i, ok := ev.nodeIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+func (ev *Evaluator) reachOf(name string) float64 {
+	if i := ev.idxOf(name); i >= 0 {
+		return ev.reach[i]
+	}
+	return 0
+}
+
+func (ev *Evaluator) matchLatOf(name string) float64 {
+	if i := ev.idxOf(name); i >= 0 {
+		return ev.matchLat[i]
+	}
+	return 0
+}
+
+func (ev *Evaluator) actLatOf(name string) float64 {
+	if i := ev.idxOf(name); i >= 0 {
+		return ev.actLat[i]
+	}
+	return 0
+}
+
+func (ev *Evaluator) dropOf(name string) float64 {
+	if i := ev.idxOf(name); i >= 0 {
+		return ev.dropRate[i]
+	}
+	return 0
+}
 
 // elemKind labels one element of a transformed pipelet layout.
 type elemKind int
@@ -106,9 +219,20 @@ func buildSequence(order []string, segs []Segment) []seqElem {
 func (ev *Evaluator) spanStats(tables []string) (origCost, actSum, dropProb float64) {
 	flow := 1.0
 	for _, t := range tables {
-		origCost += flow * (ev.matchLat[t] + ev.actLat[t])
-		actSum += flow * ev.actLat[t]
-		flow *= 1 - ev.dropRate[t]
+		origCost += flow * (ev.matchLatOf(t) + ev.actLatOf(t))
+		actSum += flow * ev.actLatOf(t)
+		flow *= 1 - ev.dropOf(t)
+	}
+	return origCost, actSum, 1 - flow
+}
+
+// spanStatsIdx is spanStats over dense indices (the hot path).
+func (ev *Evaluator) spanStatsIdx(span []int) (origCost, actSum, dropProb float64) {
+	flow := 1.0
+	for _, ti := range span {
+		origCost += flow * (ev.matchLat[ti] + ev.actLat[ti])
+		actSum += flow * ev.actLat[ti]
+		flow *= 1 - ev.dropRate[ti]
 	}
 	return origCost, actSum, 1 - flow
 }
@@ -119,11 +243,11 @@ func (ev *Evaluator) spanStats(tables []string) (origCost, actSum, dropProb floa
 // function of the packet's flow, the working set is additionally bounded
 // by the observed flow cardinality — a handful of long-lived flows keeps
 // even a whole-program cache hot regardless of the field cross-product.
-func (ev *Evaluator) workingSet(tables []string) uint64 {
+func (ev *Evaluator) workingSetIdx(span []int) uint64 {
 	const sat = 1 << 40
 	ws := uint64(1)
-	for _, t := range tables {
-		c := ev.card[t]
+	for _, ti := range span {
+		c := ev.card[ti]
 		if c == 0 {
 			c = 1
 		}
@@ -139,26 +263,26 @@ func (ev *Evaluator) workingSet(tables []string) uint64 {
 	return ws
 }
 
-// allExact reports whether every table in the span matches exactly.
-func (ev *Evaluator) allExact(tables []string) bool {
-	for _, t := range tables {
-		if ev.prog.Tables[t].WidestMatchKind() != p4ir.MatchExact {
+// allExactIdx reports whether every table in the span matches exactly.
+func (ev *Evaluator) allExactIdx(span []int) bool {
+	for _, ti := range span {
+		if !ev.exact[ti] {
 			return false
 		}
 	}
 	return true
 }
 
-// mergedM is the match complexity of an in-place (non-cache) merge: each
-// combination of member masks is a distinct mask of the merged table, so m
-// multiplies (capped). Merging ternary tables therefore usually loses —
-// exactly the hazard Figure 6 illustrates — and such candidates fall out of
-// the search on gain.
-func (ev *Evaluator) mergedM(tables []string) int {
+// mergedMIdx is the match complexity of an in-place (non-cache) merge:
+// each combination of member masks is a distinct mask of the merged table,
+// so m multiplies (capped). Merging ternary tables therefore usually loses
+// — exactly the hazard Figure 6 illustrates — and such candidates fall out
+// of the search on gain.
+func (ev *Evaluator) mergedMIdx(span []int) int {
 	const cap = 64
 	m := 1
-	for _, t := range tables {
-		m *= ev.pm.MatchComplexity(ev.prog.Tables[t])
+	for _, ti := range span {
+		m *= ev.mcomp[ti]
 		if m > cap {
 			return cap
 		}
@@ -166,8 +290,36 @@ func (ev *Evaluator) mergedM(tables []string) int {
 	return m
 }
 
+// hitEstimateIdx resolves the estimated hit rate of a cache over a span.
+// The span-key string only exists to key HitRateOverride, so it is built
+// only when overrides are present — the common no-override hot path is
+// allocation-free.
+func (ev *Evaluator) hitEstimateIdx(spanNames []string, span []int) float64 {
+	if len(ev.cfg.HitRateOverride) > 0 {
+		if h, ok := ev.cfg.HitRateOverride[SpanKey(spanNames)]; ok {
+			return h
+		}
+	}
+	return ev.cfg.hitEstimateNoOverride(ev.workingSetIdx(span))
+}
+
+// invalidationDiscount applies the §3.2.2 cache-invalidation penalty:
+// entry updates in any covered table invalidate the whole cache, so the
+// hit estimate is discounted by the aggregate update rate.
+func (ev *Evaluator) invalidationDiscount(h float64, span []int) float64 {
+	if ev.cfg.InvalidationPenalty > 0 {
+		var upd float64
+		for _, ti := range span {
+			upd += ev.updRate[ti]
+		}
+		h /= 1 + upd*ev.cfg.InvalidationPenalty
+	}
+	return h
+}
+
 // seqLatency returns the expected per-packet latency of a pipelet layout
-// for one packet entering the pipelet.
+// for one packet entering the pipelet. (Compatibility path over node
+// names; the candidate loop uses seqLatencyIdx.)
 func (ev *Evaluator) seqLatency(elems []seqElem) float64 {
 	flow := 1.0
 	var total float64
@@ -175,21 +327,12 @@ func (ev *Evaluator) seqLatency(elems []seqElem) float64 {
 		switch e.kind {
 		case elemTable:
 			t := e.tables[0]
-			total += flow * (ev.matchLat[t] + ev.actLat[t])
-			flow *= 1 - ev.dropRate[t]
+			total += flow * (ev.matchLatOf(t) + ev.actLatOf(t))
+			flow *= 1 - ev.dropOf(t)
 		case elemCache:
 			origCost, actSum, dropP := ev.spanStats(e.tables)
-			h := ev.cfg.hitEstimate(SpanKey(e.tables), ev.workingSet(e.tables))
-			// Entry updates in any covered table invalidate the whole
-			// cache; discount the hit estimate by the aggregate update
-			// rate (§3.2.2).
-			if ev.cfg.InvalidationPenalty > 0 {
-				var upd float64
-				for _, t := range e.tables {
-					upd += ev.prof.UpdateRate(t)
-				}
-				h /= 1 + upd*ev.cfg.InvalidationPenalty
-			}
+			h := ev.cfg.hitEstimate(SpanKey(e.tables), ev.workingSetNames(e.tables))
+			h = ev.invalidationDiscountNames(h, e.tables)
 			// One exact probe always; on a hit the combined action
 			// applies; on a miss the packet falls through to the
 			// original tables.
@@ -197,7 +340,7 @@ func (ev *Evaluator) seqLatency(elems []seqElem) float64 {
 			flow *= 1 - dropP
 		case elemMerge:
 			origCost, actSum, dropP := ev.spanStats(e.tables)
-			if ev.allExact(e.tables) {
+			if ev.allExactNames(e.tables) {
 				// Merged-exact cache with fallback (§3.2.3: "Pipeleon
 				// addresses this by generating a merged exact table
 				// without ternary entries as a cache").
@@ -209,7 +352,7 @@ func (ev *Evaluator) seqLatency(elems []seqElem) float64 {
 			} else {
 				// In-place merge: one (multi-probe) match executes all
 				// member actions.
-				m := ev.mergedM(e.tables)
+				m := ev.mergedMNames(e.tables)
 				total += flow * (float64(m)*ev.pm.Lmat + actSum)
 			}
 			flow *= 1 - dropP
@@ -218,66 +361,195 @@ func (ev *Evaluator) seqLatency(elems []seqElem) float64 {
 	return total
 }
 
+// seqLatencyIdx is the dense fast path of seqLatency: it walks the order
+// positions directly against the (position-sorted, disjoint) segments, so
+// no seqElem slice or covered map is built per candidate. Arithmetic is
+// element-for-element identical to seqLatency over buildSequence.
+func (ev *Evaluator) seqLatencyIdx(order []string, idxs []int, segs []Segment) float64 {
+	flow := 1.0
+	var total float64
+	si := 0
+	for i := 0; i < len(idxs); {
+		if si < len(segs) && segs[si].Start == i {
+			s := segs[si]
+			si++
+			span := idxs[i : i+s.Len]
+			origCost, actSum, dropP := ev.spanStatsIdx(span)
+			if s.Kind == SegCache {
+				h := ev.hitEstimateIdx(order[i:i+s.Len], span)
+				h = ev.invalidationDiscount(h, span)
+				total += flow * (ev.pm.Lmat + h*actSum + (1-h)*origCost)
+			} else if ev.allExactIdx(span) {
+				h := ev.cfg.MergedCacheHitRate
+				if len(ev.cfg.HitRateOverride) > 0 {
+					if hh, ok := ev.cfg.HitRateOverride[SpanKey(order[i:i+s.Len])]; ok {
+						h = hh
+					}
+				}
+				total += flow * (ev.pm.Lmat + h*actSum + (1-h)*origCost)
+			} else {
+				m := ev.mergedMIdx(span)
+				total += flow * (float64(m)*ev.pm.Lmat + actSum)
+			}
+			flow *= 1 - dropP
+			i += s.Len
+		} else {
+			ti := idxs[i]
+			total += flow * (ev.matchLat[ti] + ev.actLat[ti])
+			flow *= 1 - ev.dropRate[ti]
+			i++
+		}
+	}
+	return total
+}
+
+// Name-based shims for the compatibility paths (ScoreOption, group
+// scoring); each resolves indices per call and must stay value-identical
+// to its Idx counterpart.
+
+func (ev *Evaluator) workingSetNames(tables []string) uint64 {
+	const sat = 1 << 40
+	ws := uint64(1)
+	for _, t := range tables {
+		var c uint64
+		if i := ev.idxOf(t); i >= 0 {
+			c = ev.card[i]
+		}
+		if c == 0 {
+			c = 1
+		}
+		if ws > sat/c {
+			ws = sat
+			break
+		}
+		ws *= c
+	}
+	if fc := ev.prof.FlowCardinality; fc > 0 && fc < ws {
+		ws = fc
+	}
+	return ws
+}
+
+func (ev *Evaluator) allExactNames(tables []string) bool {
+	for _, t := range tables {
+		if ev.prog.Tables[t].WidestMatchKind() != p4ir.MatchExact {
+			return false
+		}
+	}
+	return true
+}
+
+func (ev *Evaluator) mergedMNames(tables []string) int {
+	const cap = 64
+	m := 1
+	for _, t := range tables {
+		m *= ev.pm.MatchComplexity(ev.prog.Tables[t])
+		if m > cap {
+			return cap
+		}
+	}
+	return m
+}
+
+func (ev *Evaluator) invalidationDiscountNames(h float64, tables []string) float64 {
+	if ev.cfg.InvalidationPenalty > 0 {
+		var upd float64
+		for _, t := range tables {
+			upd += ev.prof.UpdateRate(t)
+		}
+		h /= 1 + upd*ev.cfg.InvalidationPenalty
+	}
+	return h
+}
+
 // segCosts returns the memory and entry-update costs of an option's
 // segments.
 func (ev *Evaluator) segCosts(o *Option) (mem int, upd float64) {
 	for _, s := range o.Segments {
 		span := o.SegTables(s)
 		keyFields := ev.an.CacheKey(span)
-		entryBytes := len(keyFields)*8 + 16
-		switch s.Kind {
-		case SegCache:
-			mem += ev.cfg.CacheBudgetEntries * entryBytes
-			// A cache consumes entry-insertion bandwidth on misses;
-			// Pipeleon reserves its configured rate limit.
-			upd += ev.cfg.CacheInsertLimit
-		case SegMerge:
-			// N(T_AB) = Π N(T_i) (§3.2.3 optimization considerations).
-			prod := 1
-			for _, t := range span {
-				n := ev.entries[t]
+		mem, upd = ev.segCostAccum(mem, upd, s.Kind, ev.spanIdxAlloc(span), len(keyFields))
+	}
+	return mem, upd
+}
+
+// segCostsIdx is the dense fast path of segCosts: span key-field counts
+// come from the per-order scratch cache instead of recomputing
+// an.CacheKey per candidate.
+func (ev *Evaluator) segCostsIdx(sc *evalScratch, order []string, idxs []int, segs []Segment) (mem int, upd float64) {
+	for _, s := range segs {
+		kl := sc.keyLenFor(ev, order, s.Start, s.Len)
+		mem, upd = ev.segCostAccum(mem, upd, s.Kind, idxs[s.Start:s.Start+s.Len], kl)
+	}
+	return mem, upd
+}
+
+// spanIdxAlloc maps a name span to dense indices (compatibility path).
+func (ev *Evaluator) spanIdxAlloc(span []string) []int {
+	out := make([]int, len(span))
+	for i, t := range span {
+		out[i] = ev.idxOf(t)
+	}
+	return out
+}
+
+// segCostAccum folds one segment's memory and update costs into (mem,
+// upd). Shared by the name-based and dense paths so the arithmetic exists
+// once.
+func (ev *Evaluator) segCostAccum(mem int, upd float64, kind SegKind, span []int, keyFields int) (int, float64) {
+	entryBytes := keyFields*8 + 16
+	switch kind {
+	case SegCache:
+		mem += ev.cfg.CacheBudgetEntries * entryBytes
+		// A cache consumes entry-insertion bandwidth on misses;
+		// Pipeleon reserves its configured rate limit.
+		upd += ev.cfg.CacheInsertLimit
+	case SegMerge:
+		// N(T_AB) = Π N(T_i) (§3.2.3 optimization considerations).
+		prod := 1
+		for _, ti := range span {
+			n := ev.entries[ti]
+			if n < 1 {
+				n = 1
+			}
+			if prod > (1<<30)/n {
+				prod = 1 << 30
+				break
+			}
+			prod *= n
+		}
+		if ev.allExactIdx(span) {
+			mem += prod * entryBytes
+		} else {
+			m := ev.mergedMIdx(span)
+			merged := prod * entryBytes * m
+			var orig int
+			for _, ti := range span {
+				orig += ev.memBytes[ti]
+			}
+			delta := merged - orig
+			if delta > 0 {
+				mem += delta
+			}
+		}
+		// I(T_AB) = Σ_i I(T_i) · Π_{j≠i} N(T_j).
+		for i, ti := range span {
+			rate := ev.updRate[ti]
+			if rate == 0 {
+				continue
+			}
+			mult := 1.0
+			for j, tj := range span {
+				if j == i {
+					continue
+				}
+				n := ev.entries[tj]
 				if n < 1 {
 					n = 1
 				}
-				if prod > (1<<30)/n {
-					prod = 1 << 30
-					break
-				}
-				prod *= n
+				mult *= float64(n)
 			}
-			if ev.allExact(span) {
-				mem += prod * entryBytes
-			} else {
-				m := ev.mergedM(span)
-				merged := prod * entryBytes * m
-				var orig int
-				for _, t := range span {
-					orig += ev.prog.Tables[t].MemoryBytes()
-				}
-				delta := merged - orig
-				if delta > 0 {
-					mem += delta
-				}
-			}
-			// I(T_AB) = Σ_i I(T_i) · Π_{j≠i} N(T_j).
-			for i, t := range span {
-				rate := ev.prof.UpdateRate(t)
-				if rate == 0 {
-					continue
-				}
-				mult := 1.0
-				for j, u := range span {
-					if j == i {
-						continue
-					}
-					n := ev.entries[u]
-					if n < 1 {
-						n = 1
-					}
-					mult *= float64(n)
-				}
-				upd += rate * mult
-			}
+			upd += rate * mult
 		}
 	}
 	return mem, upd
@@ -290,7 +562,7 @@ func (ev *Evaluator) PipeletBaseline(p *pipelet.Pipelet) float64 {
 }
 
 // Reach returns P(reach node) under the evaluator's profile.
-func (ev *Evaluator) Reach(node string) float64 { return ev.reach[node] }
+func (ev *Evaluator) Reach(node string) float64 { return ev.reachOf(node) }
 
 // GroupOptions builds the candidates of a pipelet group (§4.1.1): the
 // cross product of member options (joint application) plus a group-wide
@@ -390,7 +662,7 @@ func (ev *Evaluator) groupBranchFields(g *pipelet.Group) []string {
 // probe plus the combined action writes. Works for single diamonds and
 // chained multi-diamond groups alike.
 func (ev *Evaluator) groupCacheOption(g *pipelet.Group, branchFields []string) *Option {
-	entryReach := ev.reach[g.Branch]
+	entryReach := ev.reachOf(g.Branch)
 	if entryReach <= 0 {
 		return nil
 	}
@@ -400,25 +672,19 @@ func (ev *Evaluator) groupCacheOption(g *pipelet.Group, branchFields []string) *
 	var weighted, weightedAct float64
 	for _, m := range g.Members {
 		for _, t := range m.Tables {
-			weighted += ev.reach[t] * (ev.matchLat[t] + ev.actLat[t])
-			weightedAct += ev.reach[t] * ev.actLat[t]
+			weighted += ev.reachOf(t) * (ev.matchLatOf(t) + ev.actLatOf(t))
+			weightedAct += ev.reachOf(t) * ev.actLatOf(t)
 		}
 	}
 	for _, bn := range g.Branches {
-		weighted += ev.reach[bn] * ev.pm.CondLatency()
+		weighted += ev.reachOf(bn) * ev.pm.CondLatency()
 	}
 	baseline := weighted / entryReach
 	actSum := weightedAct / entryReach
 
 	allTables := g.Tables()
-	h := ev.cfg.hitEstimate(SpanKey(allTables), ev.workingSet(allTables))
-	if ev.cfg.InvalidationPenalty > 0 {
-		var upd float64
-		for _, t := range allTables {
-			upd += ev.prof.UpdateRate(t)
-		}
-		h /= 1 + upd*ev.cfg.InvalidationPenalty
-	}
+	h := ev.cfg.hitEstimate(SpanKey(allTables), ev.workingSetNames(allTables))
+	h = ev.invalidationDiscountNames(h, allTables)
 	cached := ev.pm.Lmat + h*actSum + (1-h)*baseline
 	gain := (baseline - cached) * entryReach
 	keyFields := ev.an.CacheKey(allTables)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"pipeleon/internal/deps"
 	"pipeleon/internal/pipelet"
@@ -270,11 +271,102 @@ func enumerateSegmentations(order []string, an *deps.Analyzer, cfg Config) [][]S
 	return out
 }
 
+// evalScratch is the pooled per-order working state of the fused
+// enumerate-and-score loop: the dense index view of the order, the
+// segment accumulator, the precomputed legal span lengths, and a cache of
+// span key-field counts. Pooling it (LocalOptimize runs concurrently
+// across units) keeps the per-candidate path allocation-free.
+type evalScratch struct {
+	orderIdx []int
+	segs     []Segment
+	// maxCache[pos] / maxMerge[pos] are the longest legal cache / merge
+	// span lengths starting at pos — the deps checks are monotone over
+	// prefixes (the enumeration breaks at the first violation), so one
+	// O(n²) precompute per order replaces per-candidate CanCache/CanMerge
+	// calls.
+	maxCache []int
+	maxMerge []int
+	// keyLen caches len(an.CacheKey(span)) per (start, len), -1 = unset.
+	keyLen []int
+	n      int
+}
+
+var evalScratchPool = sync.Pool{New: func() any { return new(evalScratch) }}
+
+// prepareOrder points the scratch at one table order.
+func (sc *evalScratch) prepareOrder(ev *Evaluator, order []string) {
+	n := len(order)
+	sc.n = n
+	sc.orderIdx = sc.orderIdx[:0]
+	for _, t := range order {
+		sc.orderIdx = append(sc.orderIdx, ev.nodeIdx[t])
+	}
+	if cap(sc.maxCache) < n {
+		sc.maxCache = make([]int, n)
+		sc.maxMerge = make([]int, n)
+	}
+	sc.maxCache = sc.maxCache[:n]
+	sc.maxMerge = sc.maxMerge[:n]
+	mergeMax := ev.cfg.MergeCap
+	if mergeMax < 2 {
+		mergeMax = 2
+	}
+	for pos := 0; pos < n; pos++ {
+		m := 0
+		if ev.cfg.EnableCache {
+			for l := 1; pos+l <= n; l++ {
+				if !ev.an.CanCache(order[pos : pos+l]) {
+					break // a longer span contains the same violation
+				}
+				m = l
+			}
+		}
+		sc.maxCache[pos] = m
+		mm := 0
+		if ev.cfg.EnableMerge {
+			for l := 2; l <= mergeMax && pos+l <= n; l++ {
+				if !ev.an.CanMerge(order[pos : pos+l]) {
+					break
+				}
+				mm = l
+			}
+		}
+		sc.maxMerge[pos] = mm
+	}
+	need := (n + 1) * (n + 1)
+	if cap(sc.keyLen) < need {
+		sc.keyLen = make([]int, need)
+	}
+	sc.keyLen = sc.keyLen[:need]
+	for i := range sc.keyLen {
+		sc.keyLen[i] = -1
+	}
+}
+
+// keyLenFor returns len(an.CacheKey(order[start:start+l])), computing it
+// at most once per (order, start, l).
+func (sc *evalScratch) keyLenFor(ev *Evaluator, order []string, start, l int) int {
+	slot := start*(sc.n+1) + l
+	if kl := sc.keyLen[slot]; kl >= 0 {
+		return kl
+	}
+	kl := len(ev.an.CacheKey(order[start : start+l]))
+	sc.keyLen[slot] = kl
+	return kl
+}
+
 // LocalOptimize enumerates and scores all candidates for one pipelet
 // (Figure 16, LocalOptimize). The returned options are sorted by gain
 // descending, truncated to cfg.MaxOptionsPerPipelet, and exclude
 // candidates with non-positive gain (the implicit "do nothing" option is
 // always available to the global search).
+//
+// Enumeration and scoring are fused: the segmentation recursion (same
+// emission order and MaxSegmentations cap as enumerateSegmentations)
+// evaluates each candidate against the dense evaluator in place, and only
+// candidates that clear the gain threshold materialize an Option. The
+// candidate stream, and therefore the sorted result, is identical to
+// enumerating first and scoring after.
 func (ev *Evaluator) LocalOptimize(p *pipelet.Pipelet) []*Option {
 	if p.SwitchCase || p.Len() == 0 {
 		return nil
@@ -282,27 +374,65 @@ func (ev *Evaluator) LocalOptimize(p *pipelet.Pipelet) []*Option {
 	tables := p.Tables
 	var orders [][]string
 	if ev.cfg.EnableReorder {
-		orders = enumerateOrders(ev.an, tables, ev.dropRate, ev.cfg.MaxOrders)
+		orders = enumerateOrders(ev.an, tables, ev.dropByName, ev.cfg.MaxOrders)
 	} else {
 		orders = [][]string{append([]string(nil), tables...)}
 	}
-	baseline := ev.seqLatency(buildSequence(tables, nil))
-	reach := ev.reach[p.Head()]
+	sc := evalScratchPool.Get().(*evalScratch)
+	defer evalScratchPool.Put(sc)
+	sc.prepareOrder(ev, tables)
+	baseline := ev.seqLatencyIdx(tables, sc.orderIdx, nil)
+	reach := ev.reachOf(p.Head())
+	maxSegs := ev.cfg.MaxSegmentations
+	if maxSegs <= 0 {
+		maxSegs = 20000
+	}
+	n := len(tables)
 	var options []*Option
 	for oi, order := range orders {
-		segsList := enumerateSegmentations(order, ev.an, ev.cfg)
-		for _, segs := range segsList {
-			if oi == 0 && len(segs) == 0 {
-				continue // identity
+		sc.prepareOrder(ev, order)
+		segs := sc.segs[:0]
+		emitted := 0
+		var rec func(pos int)
+		rec = func(pos int) {
+			if emitted >= maxSegs {
+				return
 			}
-			o := &Option{Kind: OptPipelet, Pipelet: p, Order: order, Segments: segs}
-			lat := ev.seqLatency(buildSequence(order, segs))
-			o.Gain = (baseline - lat) * reach
-			o.MemCost, o.UpdateCost = ev.segCosts(o)
-			if o.Gain > 1e-12 {
-				options = append(options, o)
+			if pos == n {
+				emitted++
+				if oi == 0 && len(segs) == 0 {
+					return // identity
+				}
+				lat := ev.seqLatencyIdx(order, sc.orderIdx, segs)
+				gain := (baseline - lat) * reach
+				if gain > 1e-12 {
+					var segsCopy []Segment
+					if len(segs) > 0 {
+						segsCopy = append([]Segment(nil), segs...)
+					}
+					o := &Option{Kind: OptPipelet, Pipelet: p, Order: order, Segments: segsCopy, Gain: gain}
+					o.MemCost, o.UpdateCost = ev.segCostsIdx(sc, order, sc.orderIdx, segsCopy)
+					options = append(options, o)
+				}
+				return
+			}
+			// (a) leave the table at pos untouched.
+			rec(pos + 1)
+			// (b) cache segment starting here.
+			for l := 1; l <= sc.maxCache[pos]; l++ {
+				segs = append(segs, Segment{Kind: SegCache, Start: pos, Len: l})
+				rec(pos + l)
+				segs = segs[:len(segs)-1]
+			}
+			// (c) merge segment starting here.
+			for l := 2; l <= sc.maxMerge[pos]; l++ {
+				segs = append(segs, Segment{Kind: SegMerge, Start: pos, Len: l})
+				rec(pos + l)
+				segs = segs[:len(segs)-1]
 			}
 		}
+		rec(0)
+		sc.segs = segs[:0]
 	}
 	sort.SliceStable(options, func(i, j int) bool { return options[i].Gain > options[j].Gain })
 	if len(options) > ev.cfg.MaxOptionsPerPipelet {

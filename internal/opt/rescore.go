@@ -17,7 +17,7 @@ func (ev *Evaluator) ScoreOption(o *Option) float64 {
 	case OptPipelet:
 		baseline := ev.seqLatency(buildSequence(o.Pipelet.Tables, nil))
 		lat := ev.seqLatency(buildSequence(o.Order, o.Segments))
-		return (baseline - lat) * ev.reach[o.Pipelet.Head()]
+		return (baseline - lat) * ev.reachOf(o.Pipelet.Head())
 	case OptGroupCombo:
 		var g float64
 		for _, m := range o.Members {
@@ -39,23 +39,17 @@ func (ev *Evaluator) ScoreOption(o *Option) float64 {
 // construction), so scoring fans out over cfg.SearchWorkers; the per-option
 // scores are collected by index and summed serially, keeping the result
 // bit-identical to a serial run. Options whose rewrite no longer passes
-// VerifyOption against the current program contribute no gain, so a stale
+// verification against the current program contribute no gain, so a stale
 // plan that became unsound is never re-selected on its old merits.
+//
+// This is the cold entry point, running on a throwaway Session; a
+// long-lived runtime holds a Session and calls its ReScore so verdicts
+// and evaluator state stay warm across rounds. A program that cannot be
+// partitioned scores zero.
 func ReScore(prog *p4ir.Program, prof *profile.Profile, pm costmodel.Params, cfg Config, plan []*Option) float64 {
-	if len(plan) == 0 {
+	s, err := NewSession(prog, pm, cfg)
+	if err != nil {
 		return 0
 	}
-	ev := NewEvaluator(prog, prof, pm, cfg)
-	scores := make([]float64, len(plan))
-	runIndexed(len(plan), cfg.searchWorkers(), func(i int) {
-		if !VerifyOption(prog, plan[i], cfg) {
-			return
-		}
-		scores[i] = ev.ScoreOption(plan[i])
-	})
-	var total float64
-	for _, s := range scores {
-		total += s
-	}
-	return total
+	return s.ReScore(prof, plan)
 }

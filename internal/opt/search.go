@@ -1,9 +1,7 @@
 package opt
 
 import (
-	"fmt"
 	"runtime"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -81,95 +79,15 @@ func runIndexed(n, workers int, f func(int)) {
 // rank by cost under the profile, select the top-k, form pipelet groups,
 // enumerate per-unit candidates, and solve the global knapsack.
 //
-// Units (groups and ungrouped pipelets) are independent until the
-// knapsack, so their candidate enumeration fans out over a worker pool;
-// group membership is decided serially beforehand and results are
-// collected by index, so the outcome is identical to the serial search.
+// It is the cold entry point: one round on a throwaway Session, so cold
+// and warm searches execute exactly the same code path (and therefore
+// produce bit-identical results — pinned by the warm/cold property test).
 func Search(prog *p4ir.Program, prof *profile.Profile, pm costmodel.Params, cfg Config) (*SearchResult, error) {
-	start := time.Now()
-	part, err := pipelet.Form(prog, cfg.MaxPipeletLen)
+	s, err := NewSession(prog, pm, cfg)
 	if err != nil {
 		return nil, err
 	}
-	res := &SearchResult{
-		Costs:           pipelet.RankByCost(prog, prof, pm, part),
-		BaselineLatency: costmodel.ExpectedLatency(prog, prof, pm),
-	}
-	res.TopK = pipelet.TopK(res.Costs, cfg.TopKFrac)
-	ev := NewEvaluator(prog, prof, pm, cfg)
-
-	// Serial phase: decide group membership (a pipelet joins at most one
-	// group per round), which fixes the unit list and its order.
-	type unitTask struct {
-		group *pipelet.Group // nil for a single-pipelet unit
-		p     *pipelet.Pipelet
-	}
-	var tasks []unitTask
-	grouped := map[*pipelet.Pipelet]bool{}
-	if cfg.EnableGroups {
-		res.Groups = nil
-		for _, g := range pipelet.FindGroups(prog, part, res.TopK) {
-			dup := false
-			for _, m := range g.Members {
-				if grouped[m] {
-					dup = true
-					break
-				}
-			}
-			if dup {
-				continue
-			}
-			res.Groups = append(res.Groups, g)
-			for _, m := range g.Members {
-				grouped[m] = true
-			}
-		}
-		for i := range res.Groups {
-			tasks = append(tasks, unitTask{group: &res.Groups[i]})
-		}
-	}
-	for _, p := range res.TopK {
-		if !grouped[p] {
-			tasks = append(tasks, unitTask{p: p})
-		}
-	}
-
-	// Parallel phase: enumerate and score each unit's candidates.
-	type unitOut struct {
-		unit       Unit
-		candidates int
-	}
-	outs := make([]unitOut, len(tasks))
-	runIndexed(len(tasks), cfg.searchWorkers(), func(i int) {
-		t := tasks[i]
-		if t.group != nil {
-			memberOpts := make([][]*Option, len(t.group.Members))
-			cand := 0
-			for j, m := range t.group.Members {
-				memberOpts[j] = ev.LocalOptimize(m)
-				cand += len(memberOpts[j])
-			}
-			opts := ev.GroupOptions(t.group, memberOpts)
-			outs[i] = unitOut{
-				unit:       Unit{Name: "group@" + t.group.Branch, Options: opts},
-				candidates: cand + len(opts),
-			}
-			return
-		}
-		opts := ev.LocalOptimize(t.p)
-		outs[i] = unitOut{unit: Unit{Name: t.p.String(), Options: opts}, candidates: len(opts)}
-	})
-	for _, o := range outs {
-		res.CandidatesEvaluated += o.candidates
-		if len(o.unit.Options) > 0 {
-			res.Units = append(res.Units, o.unit)
-		}
-	}
-
-	res.Plan = verifyPlan(prog, GlobalOptimize(res.Units, cfg.MemoryBudget, cfg.UpdateBudget, cfg), cfg)
-	res.Gain = PlanGain(res.Plan)
-	res.Elapsed = time.Since(start)
-	return res, nil
+	return s.Search(prof)
 }
 
 // VerifyOption applies one option in isolation and reports whether the
@@ -187,38 +105,12 @@ func VerifyOption(prog *p4ir.Program, o *Option, cfg Config) bool {
 	return !analysis.VerifyRewrite(prog, rw.Program).HasErrors()
 }
 
-// verifyPlan discards the selected options that fail VerifyOption. Plan
-// options belong to disjoint units, so verifying them in isolation is
-// exact.
-func verifyPlan(prog *p4ir.Program, plan []*Option, cfg Config) []*Option {
-	out := make([]*Option, 0, len(plan))
-	for _, o := range plan {
-		if VerifyOption(prog, o, cfg) {
-			out = append(out, o)
-		}
-	}
-	return out
-}
-
 // SearchAndApply runs Search and, when the plan is non-empty, applies it.
 // A nil Rewrite with nil error means "nothing worth doing".
 func SearchAndApply(prog *p4ir.Program, prof *profile.Profile, pm costmodel.Params, cfg Config) (*SearchResult, *Rewrite, error) {
-	res, err := Search(prog, prof, pm, cfg)
+	s, err := NewSession(prog, pm, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	if len(res.Plan) == 0 {
-		return res, nil, nil
-	}
-	rw, err := Apply(prog, res.Plan, cfg)
-	if err != nil {
-		return res, nil, err
-	}
-	// Belt and braces: the plan options verified individually; prove the
-	// jointly applied program too before handing it to a deploy path.
-	if d := analysis.VerifyRewrite(prog, rw.Program); d.HasErrors() {
-		return res, nil, fmt.Errorf("opt: optimized program fails rewrite verification: %s",
-			strings.Join(d.Errors().Strings(), "; "))
-	}
-	return res, rw, nil
+	return s.SearchAndApply(prof)
 }

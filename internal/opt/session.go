@@ -1,0 +1,428 @@
+package opt
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pipeleon/internal/analysis"
+	"pipeleon/internal/costmodel"
+	"pipeleon/internal/deps"
+	"pipeleon/internal/p4ir"
+	"pipeleon/internal/pipelet"
+	"pipeleon/internal/profile"
+)
+
+// Session is a warm optimizer for one (program, cost model, config)
+// triple. It survives across optimization rounds, keeping alive everything
+// the search recomputed from scratch each round before: the pipelet
+// partition, the dependency analyzer, the evaluator's dense per-table
+// arrays, the precomputed rewrite checker, and — the main lever — a memo
+// of each unit's enumerated candidates.
+//
+// The memo is invalidated per unit by exact material change: a unit entry
+// carries a fold of every profile quantity its enumeration read (reach,
+// drop rate, action latency, cardinality, update rate of its tables, plus
+// the global flow cardinality and the hit-rate-override digest). A round
+// whose profile drifted only in tables outside a unit re-uses that unit's
+// candidates untouched; a drift inside it re-enumerates just that unit.
+// Because a hit requires the exact inputs of the original enumeration,
+// warm results are bit-identical to a cold Search — even when the drift
+// stays below the quantization threshold of profile.Signature, which the
+// session tracks for reporting and which fleet.PlanCache uses as its
+// coarser cross-program cache key.
+//
+// Search, SearchAndApply, and ReScore serialize on an internal mutex; the
+// cold package-level entry points are thin wrappers that run one round on
+// a fresh session, so cold and warm execute the same code path.
+type Session struct {
+	prog     *p4ir.Program
+	pm       costmodel.Params
+	cfg      Config
+	part     *pipelet.Partition
+	an       *deps.Analyzer // shared analyzer (lazy when nil; see ensureEvaluator)
+	verifier *planVerifier
+
+	mu    sync.Mutex // guards ev, memo, stats across rounds
+	ev    *Evaluator
+	memo  map[string]*unitEntry
+	stats SessionStats
+}
+
+// unitEntry memoizes one unit's enumeration outcome together with the
+// exact material inputs that produced it.
+type unitEntry struct {
+	sig        string
+	material   []uint64
+	unit       Unit
+	candidates int
+}
+
+// SessionStats counts the session's cache effectiveness and search cost.
+type SessionStats struct {
+	// Rounds is the number of Search calls served.
+	Rounds int
+	// UnitHits / UnitMisses count per-unit candidate-memo outcomes.
+	UnitHits   uint64
+	UnitMisses uint64
+	// VerifyHits / VerifyMisses count verification-verdict-memo outcomes.
+	VerifyHits   uint64
+	VerifyMisses uint64
+	// LastSignature is the quantized profile signature of the last round.
+	LastSignature string
+	// LastSearch / TotalSearch are wall-clock search latencies.
+	LastSearch  time.Duration
+	TotalSearch time.Duration
+}
+
+// NewSession partitions the program and precomputes everything that
+// depends only on (prog, pm, cfg).
+func NewSession(prog *p4ir.Program, pm costmodel.Params, cfg Config) (*Session, error) {
+	part, err := pipelet.Form(prog, cfg.MaxPipeletLen)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		prog:     prog,
+		pm:       pm,
+		cfg:      cfg,
+		part:     part,
+		verifier: newPlanVerifier(prog, cfg),
+		memo:     map[string]*unitEntry{},
+	}, nil
+}
+
+// newSessionShared builds a session over prebuilt program-derived state: a
+// pipelet partition, a dependency analyzer, and the rewrite checker with
+// its predecessor index. Sweep uses it so every point shares the
+// program-only analyses and pays only for its own evaluator and memos.
+func newSessionShared(prog *p4ir.Program, pm costmodel.Params, cfg Config, part *pipelet.Partition,
+	an *deps.Analyzer, rc *analysis.RewriteChecker, preds map[string][]string) *Session {
+	return &Session{
+		prog:     prog,
+		pm:       pm,
+		cfg:      cfg,
+		part:     part,
+		an:       an,
+		verifier: newPlanVerifierShared(prog, cfg, rc, preds),
+		memo:     map[string]*unitEntry{},
+	}
+}
+
+// Stats returns a snapshot of the session counters.
+func (s *Session) Stats() SessionStats {
+	hits, misses := s.verifier.stats()
+	s.mu.Lock()
+	st := s.stats
+	s.mu.Unlock()
+	st.VerifyHits, st.VerifyMisses = hits, misses
+	return st
+}
+
+// ensureEvaluator builds the evaluator on first use and refreshes its
+// profile-dependent arrays afterwards.
+func (s *Session) ensureEvaluator(prof *profile.Profile) {
+	if s.ev == nil {
+		if s.an == nil {
+			s.an = deps.NewAnalyzer(s.prog)
+		}
+		s.ev = newEvaluator(s.prog, prof, s.pm, s.cfg, s.an)
+		return
+	}
+	s.ev.refresh(prof)
+}
+
+// Search runs one optimization round (§4) against the session's program:
+// rank pipelets under the profile, select the top-k, form groups,
+// enumerate per-unit candidates (reusing memoized units whose material
+// inputs are unchanged), and solve the global knapsack. The result is
+// bit-identical to the package-level Search.
+func (s *Session) Search(prof *profile.Profile) (*SearchResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.searchLocked(prof)
+}
+
+func (s *Session) searchLocked(prof *profile.Profile) (*SearchResult, error) {
+	start := time.Now()
+	s.ensureEvaluator(prof)
+	ev := s.ev
+	res := &SearchResult{
+		Costs:           pipelet.RankByCost(s.prog, prof, s.pm, s.part),
+		BaselineLatency: costmodel.ExpectedLatency(s.prog, prof, s.pm),
+	}
+	res.TopK = pipelet.TopK(res.Costs, s.cfg.TopKFrac)
+
+	// Serial phase: decide group membership (a pipelet joins at most one
+	// group per round), which fixes the unit list and its order.
+	type unitTask struct {
+		group *pipelet.Group // nil for a single-pipelet unit
+		p     *pipelet.Pipelet
+	}
+	var tasks []unitTask
+	grouped := map[*pipelet.Pipelet]bool{}
+	if s.cfg.EnableGroups {
+		res.Groups = nil
+		for _, g := range pipelet.FindGroups(s.prog, s.part, res.TopK) {
+			dup := false
+			for _, m := range g.Members {
+				if grouped[m] {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			res.Groups = append(res.Groups, g)
+			for _, m := range g.Members {
+				grouped[m] = true
+			}
+		}
+		for i := range res.Groups {
+			tasks = append(tasks, unitTask{group: &res.Groups[i]})
+		}
+	}
+	for _, p := range res.TopK {
+		if !grouped[p] {
+			tasks = append(tasks, unitTask{p: p})
+		}
+	}
+
+	// Memo phase: fold each task's material inputs and split hits from
+	// misses. Only misses enumerate.
+	sig := profile.Signature(s.prog, prof)
+	od := overrideDigest(s.cfg.HitRateOverride)
+	fc := prof.FlowCardinality
+
+	type unitOut struct {
+		unit       Unit
+		candidates int
+	}
+	outs := make([]unitOut, len(tasks))
+	keys := make([]string, len(tasks))
+	mats := make([][]uint64, len(tasks))
+	var miss []int
+	for i, t := range tasks {
+		if t.group != nil {
+			keys[i] = groupKey(t.group)
+			mats[i] = s.groupMaterial(t.group, fc, od)
+		} else {
+			keys[i] = "p:" + t.p.String()
+			mats[i] = s.pipeletMaterial(t.p, fc, od)
+		}
+		if e, ok := s.memo[keys[i]]; ok && materialEqual(e.material, mats[i]) {
+			outs[i] = unitOut{unit: e.unit, candidates: e.candidates}
+			s.stats.UnitHits++
+			continue
+		}
+		miss = append(miss, i)
+		s.stats.UnitMisses++
+	}
+
+	// Parallel phase: enumerate and score each missed unit's candidates.
+	runIndexed(len(miss), s.cfg.searchWorkers(), func(j int) {
+		t := tasks[miss[j]]
+		if t.group != nil {
+			memberOpts := make([][]*Option, len(t.group.Members))
+			cand := 0
+			for k, m := range t.group.Members {
+				memberOpts[k] = ev.LocalOptimize(m)
+				cand += len(memberOpts[k])
+			}
+			opts := ev.GroupOptions(t.group, memberOpts)
+			outs[miss[j]] = unitOut{
+				unit:       Unit{Name: "group@" + t.group.Branch, Options: opts},
+				candidates: cand + len(opts),
+			}
+			return
+		}
+		opts := ev.LocalOptimize(t.p)
+		outs[miss[j]] = unitOut{unit: Unit{Name: t.p.String(), Options: opts}, candidates: len(opts)}
+	})
+	for _, i := range miss {
+		s.memo[keys[i]] = &unitEntry{
+			sig: sig, material: mats[i],
+			unit: outs[i].unit, candidates: outs[i].candidates,
+		}
+	}
+
+	for _, o := range outs {
+		res.CandidatesEvaluated += o.candidates
+		if len(o.unit.Options) > 0 {
+			res.Units = append(res.Units, o.unit)
+		}
+	}
+
+	res.Plan = s.verifyPlan(GlobalOptimize(res.Units, s.cfg.MemoryBudget, s.cfg.UpdateBudget, s.cfg))
+	res.Gain = PlanGain(res.Plan)
+	res.Elapsed = time.Since(start)
+	s.stats.Rounds++
+	s.stats.LastSignature = sig
+	s.stats.LastSearch = res.Elapsed
+	s.stats.TotalSearch += res.Elapsed
+	return res, nil
+}
+
+// verifyPlan discards the selected options that fail verification. Plan
+// options belong to disjoint units, so verifying them in isolation is
+// exact.
+func (s *Session) verifyPlan(plan []*Option) []*Option {
+	out := make([]*Option, 0, len(plan))
+	for _, o := range plan {
+		if s.verifier.verify(o) {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// SearchAndApply runs Search and, when the plan is non-empty, applies it.
+// A nil Rewrite with nil error means "nothing worth doing".
+func (s *Session) SearchAndApply(prof *profile.Profile) (*SearchResult, *Rewrite, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, err := s.searchLocked(prof)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(res.Plan) == 0 {
+		return res, nil, nil
+	}
+	rw, err := Apply(s.prog, res.Plan, s.cfg)
+	if err != nil {
+		return res, nil, err
+	}
+	// Belt and braces: the plan options verified individually; prove the
+	// jointly applied program too before handing it to a deploy path.
+	if d := s.verifier.rc.Verify(rw.Program); d.HasErrors() {
+		return res, nil, fmt.Errorf("opt: optimized program fails rewrite verification: %s",
+			strings.Join(d.Errors().Strings(), "; "))
+	}
+	return res, rw, nil
+}
+
+// ReScore sums the re-evaluated gains of a plan under a new profile, with
+// the same semantics as the package-level ReScore: options whose rewrite
+// no longer verifies contribute no gain.
+func (s *Session) ReScore(prof *profile.Profile, plan []*Option) float64 {
+	if len(plan) == 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureEvaluator(prof)
+	scores := make([]float64, len(plan))
+	runIndexed(len(plan), s.cfg.searchWorkers(), func(i int) {
+		if !s.verifier.verify(plan[i]) {
+			return
+		}
+		scores[i] = s.ev.ScoreOption(plan[i])
+	})
+	var total float64
+	for _, sc := range scores {
+		total += sc
+	}
+	return total
+}
+
+// groupKey identifies a group unit by its entry branch and member
+// composition, so a regrouping (after top-k churn) never aliases a stale
+// entry.
+func groupKey(g *pipelet.Group) string {
+	var b strings.Builder
+	b.WriteString("g:")
+	b.WriteString(g.Branch)
+	for _, m := range g.Members {
+		b.WriteString("|")
+		b.WriteString(m.String())
+	}
+	return b.String()
+}
+
+// pipeletMaterial folds every profile-dependent quantity LocalOptimize
+// reads for this pipelet: the head's reach (the gain weight) and each
+// member table's drop rate, action latency, cardinality, and update rate,
+// plus the global flow cardinality and override digest.
+func (s *Session) pipeletMaterial(p *pipelet.Pipelet, fc uint64, od uint64) []uint64 {
+	m := make([]uint64, 0, 3+4*len(p.Tables))
+	m = append(m, fc, od, math.Float64bits(s.ev.reachOf(p.Head())))
+	for _, t := range p.Tables {
+		m = appendTableMaterial(m, s.ev, t)
+	}
+	return m
+}
+
+// groupMaterial additionally folds the reach of every member table and
+// branch node — groupCacheOption weighs member costs by per-table reach —
+// and each member head's reach for the member enumerations.
+func (s *Session) groupMaterial(g *pipelet.Group, fc uint64, od uint64) []uint64 {
+	m := make([]uint64, 0, 4+len(g.Branches))
+	m = append(m, fc, od, math.Float64bits(s.ev.reachOf(g.Branch)))
+	for _, bn := range g.Branches {
+		m = append(m, math.Float64bits(s.ev.reachOf(bn)))
+	}
+	for _, mem := range g.Members {
+		m = append(m, math.Float64bits(s.ev.reachOf(mem.Head())))
+		for _, t := range mem.Tables {
+			m = append(m, math.Float64bits(s.ev.reachOf(t)))
+			m = appendTableMaterial(m, s.ev, t)
+		}
+	}
+	return m
+}
+
+func appendTableMaterial(m []uint64, ev *Evaluator, table string) []uint64 {
+	i := ev.idxOf(table)
+	if i < 0 || i >= ev.numTables {
+		return append(m, 0, 0, 0, 0)
+	}
+	return append(m,
+		math.Float64bits(ev.dropRate[i]),
+		math.Float64bits(ev.actLat[i]),
+		ev.card[i],
+		math.Float64bits(ev.updRate[i]))
+}
+
+func materialEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// overrideDigest folds the hit-rate-override map into one word, in sorted
+// key order so the digest is deterministic. The runtime mutates this map
+// between rounds (it is aliased, not copied, into the session's config);
+// folding it into every unit's material invalidates exactly the rounds
+// that saw a different override set.
+func overrideDigest(o map[string]float64) uint64 {
+	if len(o) == 0 {
+		return 0
+	}
+	keys := make([]string, 0, len(o))
+	for k := range o {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, k := range keys {
+		h.Write([]byte(k))
+		bits := math.Float64bits(o[k])
+		for b := 0; b < 8; b++ {
+			buf[b] = byte(bits >> (8 * b))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}

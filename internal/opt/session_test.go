@@ -1,0 +1,295 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"pipeleon/internal/costmodel"
+	"pipeleon/internal/profile"
+	"pipeleon/internal/synth"
+)
+
+const sessionSeeds = 120
+
+func sessionCase(i int) (synth.ProgramSpec, synth.ProfileSpec, costmodel.Params) {
+	seed := uint64(7000 + i*131)
+	cat := synth.Category(i % 4)
+	pspec := synth.ProgramSpec{
+		Pipelets: 3 + i%9,
+		AvgLen:   1.5 + float64(i%3),
+		Category: cat,
+		Seed:     seed,
+	}
+	var pm costmodel.Params
+	switch i % 3 {
+	case 0:
+		pm = costmodel.BlueField2()
+	case 1:
+		pm = costmodel.AgilioCX()
+	default:
+		pm = costmodel.EmulatedNIC()
+	}
+	return pspec, synth.ProfileSpec{Seed: seed + 1, Category: cat}, pm
+}
+
+// perturb returns a copy of prof with one table's busiest action count
+// bumped by one packet — a drift far below the quantization threshold of
+// profile.Signature, but a material change for every unit whose model
+// inputs it reaches (drop probability, action mix, downstream reach).
+func perturb(prof *profile.Profile) *profile.Profile {
+	out := prof.Clone()
+	tables := make([]string, 0, len(out.ActionCounts))
+	for t := range out.ActionCounts {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	for _, t := range tables {
+		acts := make([]string, 0, len(out.ActionCounts[t]))
+		for a := range out.ActionCounts[t] {
+			acts = append(acts, a)
+		}
+		if len(acts) == 0 {
+			continue
+		}
+		sort.Strings(acts)
+		out.ActionCounts[t][acts[0]]++
+		return out
+	}
+	return out
+}
+
+func sameResults(t *testing.T, label string, cold, warm *SearchResult) {
+	t.Helper()
+	if len(warm.Units) != len(cold.Units) {
+		t.Fatalf("%s: %d units != %d cold", label, len(warm.Units), len(cold.Units))
+	}
+	for i := range cold.Units {
+		cu, wu := cold.Units[i], warm.Units[i]
+		if cu.Name != wu.Name || len(cu.Options) != len(wu.Options) {
+			t.Fatalf("%s: unit %d mismatch: %s/%d vs %s/%d",
+				label, i, cu.Name, len(cu.Options), wu.Name, len(wu.Options))
+		}
+		for j := range cu.Options {
+			co, wo := cu.Options[j], wu.Options[j]
+			if co.String() != wo.String() || co.Gain != wo.Gain ||
+				co.MemCost != wo.MemCost || co.UpdateCost != wo.UpdateCost {
+				t.Fatalf("%s: unit %s option %d differs: %s gain=%v vs %s gain=%v",
+					label, cu.Name, j, co, co.Gain, wo, wo.Gain)
+			}
+		}
+	}
+	if warm.CandidatesEvaluated != cold.CandidatesEvaluated {
+		t.Errorf("%s: candidates %d != %d", label, warm.CandidatesEvaluated, cold.CandidatesEvaluated)
+	}
+	if warm.Gain != cold.Gain {
+		t.Errorf("%s: gain %v != %v", label, warm.Gain, cold.Gain)
+	}
+	if warm.BaselineLatency != cold.BaselineLatency {
+		t.Errorf("%s: baseline %v != %v", label, warm.BaselineLatency, cold.BaselineLatency)
+	}
+	if len(warm.Plan) != len(cold.Plan) {
+		t.Fatalf("%s: plan size %d != %d", label, len(warm.Plan), len(cold.Plan))
+	}
+	for i := range cold.Plan {
+		if cold.Plan[i].String() != warm.Plan[i].String() {
+			t.Errorf("%s: plan[%d] %s != %s", label, i, warm.Plan[i], cold.Plan[i])
+		}
+	}
+}
+
+// Property (the warm-session contract): a Session fed a sequence of
+// drifting profiles produces, at every round, results bit-identical to a
+// cold Search under that round's profile — same units, option strings,
+// gains, plan, and candidate counts — whether the drift stays below the
+// profile.Signature quantization threshold (round 2: one packet moved) or
+// blows past it (round 3: an entirely different workload). Run under
+// -race this also exercises the session's internal locking against the
+// per-unit worker pool.
+func TestWarmSessionMatchesColdSearch(t *testing.T) {
+	var hits, misses uint64
+	sigChanges := 0
+	for i := 0; i < sessionSeeds; i++ {
+		pspec, profSpec, pm := sessionCase(i)
+		prog := synth.Program(pspec)
+		p1 := synth.SynthesizeProfile(prog, profSpec)
+		p2 := perturb(p1)
+		p3 := synth.SynthesizeProfile(prog, synth.ProfileSpec{Seed: profSpec.Seed + 999, Category: profSpec.Category})
+
+		cfg := DefaultConfig()
+		cfg.TopKFrac = 1
+		if i%5 == 0 {
+			cfg.MemoryBudget = 1 << 16
+			cfg.UpdateBudget = 4000
+		}
+
+		s, err := NewSession(prog, pm, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", i, err)
+		}
+		if profile.Signature(prog, p1) != profile.Signature(prog, p3) {
+			sigChanges++
+		}
+		for r, prof := range []*profile.Profile{p1, p2, p3} {
+			cold, err := Search(prog, prof, pm, cfg)
+			if err != nil {
+				t.Fatalf("seed %d round %d: cold: %v", i, r, err)
+			}
+			warm, err := s.Search(prof)
+			if err != nil {
+				t.Fatalf("seed %d round %d: warm: %v", i, r, err)
+			}
+			sameResults(t, fmt.Sprintf("seed %d round %d", i, r), cold, warm)
+			if cr, wr := ReScore(prog, prof, pm, cfg, cold.Plan), s.ReScore(prof, warm.Plan); cr != wr {
+				t.Errorf("seed %d round %d: rescore %v != %v", i, r, wr, cr)
+			}
+		}
+		st := s.Stats()
+		hits += st.UnitHits
+		misses += st.UnitMisses
+		if st.Rounds != 3 {
+			t.Fatalf("seed %d: session served %d rounds, want 3", i, st.Rounds)
+		}
+	}
+	// The memo must actually engage: across the corpus, round 2's tiny
+	// drift leaves plenty of units untouched (hits) while rounds 1 and 3
+	// re-enumerate (misses), and round 3's workload swap moves the
+	// quantized signature for at least some seeds.
+	if hits == 0 {
+		t.Error("unit memo never hit across the corpus")
+	}
+	if misses == 0 {
+		t.Error("unit memo never missed across the corpus")
+	}
+	if sigChanges == 0 {
+		t.Error("no seed drifted past the signature quantization threshold")
+	}
+}
+
+// Property: the session's fast verification path — shared scratch clone,
+// touched-subgraph edge restriction, verdict memo — returns exactly
+// VerifyOption's verdict for every candidate the enumerator can produce,
+// not just the ones a plan selects.
+func TestPlanVerifierMatchesVerifyOption(t *testing.T) {
+	checked, fastTrue := 0, 0
+	for i := 0; i < sessionSeeds; i += 4 {
+		pspec, profSpec, pm := sessionCase(i)
+		prog := synth.Program(pspec)
+		prof := synth.SynthesizeProfile(prog, profSpec)
+		cfg := DefaultConfig()
+		cfg.TopKFrac = 1
+
+		s, err := NewSession(prog, pm, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", i, err)
+		}
+		res, err := s.Search(prof)
+		if err != nil {
+			t.Fatalf("seed %d: %v", i, err)
+		}
+		v := newPlanVerifier(prog, cfg)
+		for _, u := range res.Units {
+			opts := u.Options
+			if len(opts) > 12 {
+				opts = opts[:12]
+			}
+			for _, o := range opts {
+				want := VerifyOption(prog, o, cfg)
+				got := v.verify(o)
+				if got != want {
+					t.Fatalf("seed %d: verdict mismatch for %s: fast=%v full=%v", i, o, got, want)
+				}
+				// Memoized second call must agree too.
+				if again := v.verify(o); again != want {
+					t.Fatalf("seed %d: memoized verdict flipped for %s", i, o)
+				}
+				checked++
+				if got {
+					fastTrue++
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no candidates verified")
+	}
+	if fastTrue == 0 {
+		t.Error("verifier accepted nothing across the corpus")
+	}
+}
+
+// Property: Sweep's per-point results are bit-identical to running Search
+// point by point, whatever the points' cost models and configs, and
+// whatever the worker count.
+func TestSweepMatchesSearch(t *testing.T) {
+	pspec, profSpec, _ := sessionCase(7)
+	pspec.Pipelets = 8
+	prog := synth.Program(pspec)
+	prof := synth.SynthesizeProfile(prog, profSpec)
+
+	base := DefaultConfig()
+	base.TopKFrac = 1
+	short := base
+	short.MaxPipeletLen = 4
+	merged := base
+	merged.MergeCap = 3
+	budget := base
+	budget.MemoryBudget = 1 << 15
+	noCache := base
+	noCache.EnableCache = false
+
+	points := []SweepPoint{
+		{Params: costmodel.EmulatedNIC(), Config: base},
+		{Params: costmodel.BlueField2(), Config: base},
+		{Params: costmodel.AgilioCX(), Config: short},
+		{Params: costmodel.EmulatedNIC(), Config: merged},
+		{Params: costmodel.BlueField2(), Config: budget},
+		{Params: costmodel.EmulatedNIC(), Config: noCache},
+	}
+	for _, workers := range []int{1, 4} {
+		results, err := Sweep(prog, prof, points, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != len(points) {
+			t.Fatalf("workers=%d: %d results for %d points", workers, len(results), len(points))
+		}
+		for pi, pt := range points {
+			cold, err := Search(prog, prof, pt.Params, pt.Config)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResults(t, "point", cold, results[pi])
+		}
+	}
+}
+
+// The warm hot path must stay allocation-light: after the first round
+// primes the memos, a repeat search with an unchanged profile performs no
+// candidate enumeration and only bounded bookkeeping.
+func TestWarmSearchAllocBudget(t *testing.T) {
+	pspec, profSpec, _ := sessionCase(3)
+	pspec.Pipelets = 12
+	prog := synth.Program(pspec)
+	prof := synth.SynthesizeProfile(prog, profSpec)
+	cfg := DefaultConfig()
+	cfg.TopKFrac = 1
+	cfg.SearchWorkers = 1
+
+	s, err := NewSession(prog, costmodel.EmulatedNIC(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Search(prof); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := s.Search(prof); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 2000
+	if allocs > budget {
+		t.Fatalf("warm search allocates %.0f objs/op, budget %d", allocs, budget)
+	}
+}

@@ -365,6 +365,12 @@ type Collector struct {
 	// (nil until Bind). Snapshot merges shards through the layout.
 	layout *Layout
 	shards []*Shard
+	// unionScratch is Snapshot's reusable dedup buffer for the per-table
+	// and per-flow shard unions. Only its size is ever read, so one
+	// cleared map serves every union in turn; pooling it keeps repeated
+	// snapshots (one per profiling window) from reallocating a map per
+	// table. Guarded by mu like everything else.
+	unionScratch map[uint64]struct{}
 }
 
 // keyCardCap bounds the per-table distinct-key tracking set. Beyond the
@@ -616,14 +622,22 @@ func (c *Collector) Snapshot() *Profile {
 	if l := c.layout; l != nil {
 		// Distinct-key and flow counts must dedupe across shards and the
 		// legacy sets, so build unions (only for slots with shard data).
+		// The union buffer is pooled on the collector: only its final size
+		// is read, so each union clears and refills the same map instead
+		// of allocating per table per snapshot.
+		if c.unionScratch == nil {
+			c.unionScratch = map[uint64]struct{}{}
+		}
+		u := c.unionScratch
 		for ti, table := range l.Tables {
-			var u map[uint64]struct{}
+			seeded := false
 			for _, s := range c.shards {
 				s.mu.Lock()
 				set := s.keys[ti]
 				if len(set) > 0 {
-					if u == nil {
-						u = make(map[uint64]struct{}, len(set)+len(c.keys[table]))
+					if !seeded {
+						seeded = true
+						clear(u)
 						for k := range c.keys[table] {
 							u[k] = struct{}{}
 						}
@@ -637,31 +651,32 @@ func (c *Collector) Snapshot() *Profile {
 				}
 				s.mu.Unlock()
 			}
-			if u != nil {
+			if seeded {
 				out.KeyCardinality[table] = uint64(len(u))
 			}
 		}
-		var fu map[uint64]struct{}
+		seeded := false
 		for _, s := range c.shards {
 			s.mu.Lock()
 			if len(s.flows) > 0 {
-				if fu == nil {
-					fu = make(map[uint64]struct{}, len(s.flows)+len(c.flows))
+				if !seeded {
+					seeded = true
+					clear(u)
 					for k := range c.flows {
-						fu[k] = struct{}{}
+						u[k] = struct{}{}
 					}
 				}
 				for k := range s.flows {
-					if len(fu) >= keyCardCap {
+					if len(u) >= keyCardCap {
 						break
 					}
-					fu[k] = struct{}{}
+					u[k] = struct{}{}
 				}
 			}
 			s.mu.Unlock()
 		}
-		if fu != nil {
-			out.FlowCardinality = uint64(len(fu))
+		if seeded {
+			out.FlowCardinality = uint64(len(u))
 		}
 	}
 	if every := c.every.Load(); every > 1 {

@@ -1,0 +1,58 @@
+package profile
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"pipeleon/internal/p4ir"
+)
+
+// Signature quantizes a runtime profile into a similarity key: per-table
+// traffic shares bucketed into sixteenths, per-table drop probability
+// bucketed into tenths, and entry-update rates bucketed by decade.
+// Profiles that would drive the §3 heuristics to the same choices land in
+// the same bucket string; a real traffic shift (a table going cold, a drop
+// rate flipping, an update storm) changes the signature.
+//
+// This is the one shared definition of "similar enough traffic" used by
+// the fleet's plan cache, the optimizer's warm search sessions, and the
+// core runtime's change detection. Quantization keeps the key stable under
+// measurement noise while still separating profiles that deserve a fresh
+// search.
+func Signature(prog *p4ir.Program, prof *Profile) string {
+	if prog == nil || prof == nil {
+		return "empty"
+	}
+	names := make([]string, 0, len(prog.Tables))
+	for name := range prog.Tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var total uint64
+	for _, name := range names {
+		total += prof.TableTotal(name)
+	}
+	var b strings.Builder
+	for _, name := range names {
+		t := prog.Tables[name]
+		var share, drop float64
+		if total > 0 {
+			share = float64(prof.TableTotal(name)) / float64(total)
+			drop = prof.DropProb(t)
+		}
+		upd := prof.UpdateRate(name)
+		updBucket := 0
+		if upd >= 1 {
+			updBucket = 1 + int(math.Log10(upd))
+		}
+		fmt.Fprintf(&b, "%s:%d.%d.%d;", name,
+			int(share*16+0.5), int(drop*10+0.5), updBucket)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:6])
+}
