@@ -240,6 +240,24 @@ func BenchmarkFig17bTableCopyRatio(b *testing.B) {
 	})
 }
 
+func BenchmarkFig20PlacementCrossover(b *testing.B) {
+	benchFig(b, "fig20", func(r *experiments.Result) (string, float64) {
+		// Count the grid points the off-path tier wins — the headline of
+		// the crossover map.
+		var wins float64
+		for _, s := range r.Series {
+			if len(s.Name) > 8 && s.Name[:8] == "updates-" {
+				for _, y := range s.Y {
+					if y == 2 {
+						wins++
+					}
+				}
+			}
+		}
+		return "offpath-wins", wins
+	})
+}
+
 func BenchmarkFig18EntropyProfiles(b *testing.B) {
 	benchFig(b, "fig18", nil)
 }
@@ -547,6 +565,31 @@ func BenchmarkSweep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := opt.Sweep(prog, prof, points, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlacementPlan measures the three-way N-tier placement search
+// (table copies, re-tiering, whole-stage off-path offload) on the shared
+// search workload with every third table floored off the ASIC.
+func BenchmarkPlacementPlan(b *testing.B) {
+	prog, _, _, _ := ablationSearchInput()
+	pm := costmodel.BlueField2()
+	nth := 0
+	for _, name := range prog.NodeNames() {
+		if t, _ := prog.Node(name); t != nil {
+			if nth%3 == 1 {
+				t.MinTier = 1
+			}
+			nth++
+		}
+	}
+	prof := synth.SynthesizeProfile(prog, synth.ProfileSpec{Seed: 7, Category: synth.Mixed})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := opt.NewPlacement(prog, pm)
+		if _, err := opt.GreedyPlacementPlan(prog, prof, pm, base, 8); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -54,6 +54,33 @@ var importRules = []importRule{
 	},
 }
 
+// tierNameRule forbids files under Dir (non-test) from naming concrete
+// execution tiers (costmodel.TierASIC / TierNICCPU / TierOffPath).
+// Placement and runtime code must iterate tiers generically — 0..NumTiers
+// — so adding a fourth tier never requires touching them; only costmodel
+// may say what a tier concretely is.
+type tierNameRule struct {
+	Dir string
+	Why string
+}
+
+var tierNames = map[string]bool{
+	"TierASIC":    true,
+	"TierNICCPU":  true,
+	"TierOffPath": true,
+}
+
+var tierNameRules = []tierNameRule{
+	{
+		Dir: "internal/opt",
+		Why: "the placement search is tier-generic; iterate 0..NumTiers instead",
+	},
+	{
+		Dir: "internal/core",
+		Why: "the runtime is tier-generic; iterate 0..NumTiers instead",
+	},
+}
+
 var determinismRules = []determinismRule{
 	{
 		Dir: "internal/nicsim",
@@ -87,6 +114,16 @@ func lintModule(root string) ([]Violation, error) {
 		r := r
 		vs, err := lintDir(fset, filepath.Join(root, r.Dir), r.Match, func(f *ast.File) []Violation {
 			return checkDeterminism(fset, f, r)
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vs...)
+	}
+	for _, r := range tierNameRules {
+		r := r
+		vs, err := lintDir(fset, filepath.Join(root, r.Dir), nil, func(f *ast.File) []Violation {
+			return checkTierNames(fset, f, r)
 		})
 		if err != nil {
 			return nil, err
@@ -149,6 +186,41 @@ func checkImports(fset *token.FileSet, f *ast.File, r importRule) []Violation {
 			})
 		}
 	}
+	return out
+}
+
+func checkTierNames(fset *token.FileSet, f *ast.File, r tierNameRule) []Violation {
+	var out []Violation
+	// Resolve the local name the costmodel package is imported under, so
+	// aliased imports are caught and unrelated identifiers are not.
+	cmName := ""
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || path != "pipeleon/internal/costmodel" {
+			continue
+		}
+		cmName = "costmodel"
+		if imp.Name != nil {
+			cmName = imp.Name.Name
+		}
+	}
+	if cmName == "" || cmName == "_" {
+		return out
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !tierNames[sel.Sel.Name] {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == cmName && id.Obj == nil {
+			out = append(out, Violation{
+				Pos:  fset.Position(sel.Pos()),
+				Rule: "tier-generic",
+				Msg:  fmt.Sprintf("names concrete tier %s.%s: %s", cmName, sel.Sel.Name, r.Why),
+			})
+		}
+		return true
+	})
 	return out
 }
 

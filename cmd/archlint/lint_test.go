@@ -140,6 +140,72 @@ var t1 = time.Now()
 	}
 }
 
+func TestTierNameViolations(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		// Concrete tier name in opt: violation.
+		"internal/opt/bad.go": `package opt
+
+import "pipeleon/internal/costmodel"
+
+var d = costmodel.TierOffPath
+`,
+		// Aliased import must still be caught.
+		"internal/opt/alias.go": `package opt
+
+import cm "pipeleon/internal/costmodel"
+
+var e = cm.TierNICCPU
+`,
+		// Generic tier iteration is fine.
+		"internal/opt/ok.go": `package opt
+
+import "pipeleon/internal/costmodel"
+
+func tiers(pm costmodel.Params) []costmodel.TierID {
+	var out []costmodel.TierID
+	for t := 0; t < pm.NumTiers(); t++ {
+		out = append(out, costmodel.TierID(t))
+	}
+	return out
+}
+`,
+		// Tests are exempt.
+		"internal/opt/bad_test.go": `package opt
+
+import "pipeleon/internal/costmodel"
+
+var f = costmodel.TierASIC
+`,
+		// Other packages are not covered by the rule.
+		"internal/nicsim/free.go": `package nicsim
+
+import "pipeleon/internal/costmodel"
+
+var g = costmodel.TierOffPath
+`,
+	})
+	vs, err := lintModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 {
+		t.Fatalf("got %d violations, want 2: %v", len(vs), vs)
+	}
+	byFile := map[string]string{}
+	for _, v := range vs {
+		if v.Rule != "tier-generic" {
+			t.Errorf("unexpected rule %q: %v", v.Rule, v)
+		}
+		byFile[filepath.Base(v.Pos.Filename)] = v.Msg
+	}
+	if !strings.Contains(byFile["bad.go"], "costmodel.TierOffPath") {
+		t.Errorf("bad.go: %q", byFile["bad.go"])
+	}
+	if !strings.Contains(byFile["alias.go"], "cm.TierNICCPU") {
+		t.Errorf("alias.go: %q", byFile["alias.go"])
+	}
+}
+
 func TestMissingDirsAreNotErrors(t *testing.T) {
 	vs, err := lintModule(t.TempDir())
 	if err != nil {

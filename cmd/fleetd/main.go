@@ -11,6 +11,7 @@
 //	                            cache, roll optimized layouts out per model
 //	POST /v1/quarantine?device= force a device out of rotation
 //	POST /v1/recover?device=    lift a quarantine (probation re-entry)
+//	GET  /metrics               the same counters in Prometheus text format
 //
 // Usage:
 //
@@ -157,6 +158,10 @@ func main() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, ctl.Status())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = fleet.WriteMetrics(w, ctl.Status())
 	})
 	mux.HandleFunc("/v1/rollout", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {

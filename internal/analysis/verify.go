@@ -16,6 +16,9 @@ const (
 	CodeBrokenDep    = "RW002" // dependency ordering reversed or lost
 	CodeBadCovers    = "RW003" // generated table's covers are inconsistent
 	CodeUnsoundXform = "RW004" // declared rewrite violates its legality rule
+	CodeTierFloor    = "RW005" // tier assignment below the table's floor (or copy of a floored table)
+	CodeStickyCopied = "RW006" // sticky (single-instance state) table replicated across tiers
+	CodeBadTier      = "RW007" // malformed tier annotation
 )
 
 // VerifyRewrite proves that opt preserves every dependency ordering of
@@ -264,6 +267,38 @@ func verifyTransforms(gO, gN *graph) diag.List {
 		case p4ir.KindMerged:
 			covers := strings.Split(t.Annotations[p4ir.AnnotCovers], ",")
 			l = append(l, mergeDiags(gO, name, covers)...)
+		}
+		l = append(l, tierDiags(name, t)...)
+	}
+	return l
+}
+
+// tierDiags checks a table's execution-tier placement annotations
+// (RW005–RW007): the assigned tier must not undercut the table's floor,
+// a floored or sticky table must not be replicated across tiers (a
+// replica runs on every tier a packet may arrive from, including the
+// ones the floor forbids; sticky state cannot be kept coherent across
+// instances), and the annotation value must parse.
+func tierDiags(name string, t *p4ir.Table) diag.List {
+	var l diag.List
+	if v, ok := t.Annotations[p4ir.AnnotTier]; ok {
+		tier, valid := t.TierAssignment()
+		if !valid {
+			l.Add(CodeBadTier, diag.Error, name, "",
+				"malformed tier annotation %q: want a non-negative integer", v)
+		} else if floor := t.TierFloor(); tier < floor {
+			l.Add(CodeTierFloor, diag.Error, name, "",
+				"assigned to tier %d below its floor %d", tier, floor)
+		}
+	}
+	if t.TierCopied() {
+		if floor := t.TierFloor(); floor > 0 {
+			l.Add(CodeTierFloor, diag.Error, name, "",
+				"replicated across tiers despite floor %d (a replica must run on every tier)", floor)
+		}
+		if t.Sticky {
+			l.Add(CodeStickyCopied, diag.Error, name, "",
+				"sticky table replicated across tiers; its state cannot be kept coherent")
 		}
 	}
 	return l

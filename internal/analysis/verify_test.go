@@ -280,3 +280,52 @@ func TestVerifyInvalidInputs(t *testing.T) {
 		t.Error("invalid optimized program verified clean")
 	}
 }
+
+func TestVerifyTierAnnotations(t *testing.T) {
+	mk := func() *p4ir.Program {
+		prog := chain(t, "tiers", writer("a", "meta.x", ""), reader("b", "meta.x", ""))
+		prog.Tables["a"].Unsupported = true // floor 1
+		return prog
+	}
+	orig := mk()
+
+	// Sound placement: floored table annotated at (or above) its floor,
+	// floor-0 table replicated.
+	opt := mk()
+	opt.Tables["a"].SetTierAssignment(2)
+	opt.Tables["b"].SetTierCopied(true)
+	if l := analysis.VerifyRewrite(orig, opt); l.HasErrors() {
+		t.Errorf("sound tier placement rejected:\n%v", l)
+	}
+
+	// RW005: assignment below the floor.
+	opt = mk()
+	opt.Tables["a"].SetTierAssignment(0)
+	if l := analysis.VerifyRewrite(orig, opt); !hasCode(l, analysis.CodeTierFloor) {
+		t.Errorf("below-floor assignment not reported as RW005:\n%v", l)
+	}
+
+	// RW005: replicating a floored table (a replica runs on tier 0 too).
+	opt = mk()
+	opt.Tables["a"].SetTierCopied(true)
+	if l := analysis.VerifyRewrite(orig, opt); !hasCode(l, analysis.CodeTierFloor) {
+		t.Errorf("replicated floored table not reported as RW005:\n%v", l)
+	}
+
+	// RW006: replicating sticky state.
+	orig2 := mk()
+	orig2.Tables["b"].Sticky = true
+	opt = mk()
+	opt.Tables["b"].Sticky = true
+	opt.Tables["b"].SetTierCopied(true)
+	if l := analysis.VerifyRewrite(orig2, opt); !hasCode(l, analysis.CodeStickyCopied) {
+		t.Errorf("replicated sticky table not reported as RW006:\n%v", l)
+	}
+
+	// RW007: malformed annotation value.
+	opt = mk()
+	opt.Tables["b"].Annotations = map[string]string{p4ir.AnnotTier: "fastest"}
+	if l := analysis.VerifyRewrite(orig, opt); !hasCode(l, analysis.CodeBadTier) {
+		t.Errorf("malformed tier annotation not reported as RW007:\n%v", l)
+	}
+}

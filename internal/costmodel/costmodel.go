@@ -65,6 +65,26 @@ type Params struct {
 	// CPUSlowdown scales node latencies for tables executed on the CPU
 	// pipeline of a heterogeneous target (1 = ASIC speed).
 	CPUSlowdown float64
+	// OffPathSlowdown scales node latencies for tables executed on the
+	// off-path host/DPU tier. 0 means the target has no off-path tier
+	// (NumTiers() == 2). Host cores are often faster than the NIC's
+	// wimpy cores, so OffPathSlowdown < CPUSlowdown is the common case —
+	// the PCIe crossing, not execution speed, is the off-path tax.
+	OffPathSlowdown float64
+	// DMABaseNs / DMAPerPacketNs / DMABatch parameterize the off-path
+	// transfer function OffPathCrossNs: a crossing costs
+	// DMABaseNs/batch + DMAPerPacketNs, so the doorbell/completion round
+	// trip amortizes over the DMA descriptor batch while the payload
+	// copy does not. DMABatch <= 0 is treated as 1 (no batching).
+	DMABaseNs      float64
+	DMAPerPacketNs float64
+	DMABatch       int
+	// UpdateStallASIC / UpdateStallCPU / UpdateStallOffPath are the
+	// expected per-packet latency (ns) added per entry update/second
+	// applied to a table resident on that tier (see TierUpdateStall).
+	UpdateStallASIC    float64
+	UpdateStallCPU     float64
+	UpdateStallOffPath float64
 	// SRAMFactor scales the per-probe latency of tables pinned to the
 	// SRAM tier (hierarchical memory, the paper's §6 extension).
 	// 0 disables the feature (every table pays full Lmat); a typical
@@ -91,6 +111,19 @@ func BlueField2() Params {
 		CPUSlowdown:   4,
 		// Migration between ASIC and ARM cores crosses the NIC fabric.
 		MigrationLatency: 600,
+		// Off-path tier: host cores across PCIe. x86 cores out-run the
+		// ARM complex (1.5x ASIC vs 4x), but every crossing is a DMA:
+		// ~4us doorbell/completion round trip amortized over the ring
+		// batch plus an unamortizable per-packet copy.
+		OffPathSlowdown: 1.5,
+		DMABaseNs:       4000,
+		DMAPerPacketNs:  80,
+		DMABatch:        8,
+		// Entry updates stall the ASIC table-update engine hardest, the
+		// ARM tables less, host-memory tables barely (ns per update/s).
+		UpdateStallASIC:    0.01,
+		UpdateStallCPU:     0.002,
+		UpdateStallOffPath: 0.0001,
 	}
 }
 
@@ -110,6 +143,16 @@ func AgilioCX() Params {
 		CPUSlowdown:   1,
 		// Homogeneous CPU target: no ASIC/CPU migration.
 		MigrationLatency: 0,
+		// Off-path tier: the host across PCIe. The micro-engines are
+		// slow enough that host cores beat them outright (0.7x), but
+		// the 40G part's DMA engine is slower than BlueField's.
+		OffPathSlowdown:    0.7,
+		DMABaseNs:          5000,
+		DMAPerPacketNs:     120,
+		DMABatch:           8,
+		UpdateStallASIC:    0.008,
+		UpdateStallCPU:     0.008,
+		UpdateStallOffPath: 0.0002,
 	}
 }
 

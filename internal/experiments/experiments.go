@@ -167,6 +167,7 @@ func All() []Runner {
 		{"fig17b", "Table copying vs software traffic ratio (appendix A.2)", Fig17b},
 		{"fig18", "Pipelet traffic distribution by entropy (appendix A.3)", Fig18},
 		{"fig19", "ESearch gain by traffic entropy (appendix A.3)", Fig19},
+		{"fig20", "N-tier placement crossover: locality x update rate", Fig20},
 	}
 }
 

@@ -329,8 +329,52 @@ func TestFindRegistry(t *testing.T) {
 	if Find("fig9a") == nil || Find("nope") != nil {
 		t.Error("Find misbehaves")
 	}
-	if len(All()) != 23 {
-		t.Errorf("registry has %d figures, want 23", len(All()))
+	if len(All()) != 24 {
+		t.Errorf("registry has %d figures, want 24", len(All()))
+	}
+}
+
+func TestFig20EachTierWinsARegion(t *testing.T) {
+	r := Fig20(quick)
+	// Collect the set of winning tiers across the whole grid: the map is
+	// only interesting if all three tiers claim some region.
+	won := map[float64]bool{}
+	for _, s := range r.Series {
+		if strings.HasPrefix(s.Name, "updates-") {
+			for _, y := range s.Y {
+				won[y] = true
+			}
+		}
+	}
+	for tier := 0.0; tier < 3; tier++ {
+		if !won[tier] {
+			t.Errorf("tier %.0f never wins a grid region (winners: %v)", tier, won)
+		}
+	}
+	// No churn → the ASIC wins at every locality.
+	for i, y := range series(t, r, "updates-0/s") {
+		if y != 0 {
+			t.Errorf("updates-0/s point %d: want ASIC (0), got tier %.0f", i, y)
+		}
+	}
+	// Heavy churn → off-path wins once DMA batches deepen, and the
+	// sparse-traffic end stays on-path.
+	heavy := series(t, r, "updates-1000000/s")
+	if heavy[0] == 2 {
+		t.Errorf("heavy churn at locality 0 should stay on-path, got off-path")
+	}
+	if heavy[len(heavy)-1] != 2 {
+		t.Errorf("heavy churn at locality 1 should go off-path, got tier %.0f", heavy[len(heavy)-1])
+	}
+	// Measured spot-check: at full locality with no churn the emulator
+	// must rank the ASIC fastest and the off-path tier ahead of the NIC
+	// CPU — the same ordering the model predicts.
+	meas := series(t, r, "measured-ns-by-tier@loc=1")
+	if len(meas) != 3 {
+		t.Fatalf("measured series has %d points, want 3", len(meas))
+	}
+	if !(meas[0] < meas[2] && meas[2] < meas[1]) {
+		t.Errorf("measured ordering want asic < offpath < nic-cpu, got %v", meas)
 	}
 }
 

@@ -34,9 +34,15 @@ type Config struct {
 	// CPUTables places tables on the CPU pipeline. Tables marked
 	// Unsupported in the IR are forced onto the CPU regardless.
 	CPUTables map[string]bool
-	// CopiedTables exist on both pipelines (table copying, §3.2.4): the
+	// CopiedTables exist on every tier (table copying, §3.2.4): the
 	// packet executes them wherever it currently is, avoiding migration.
 	CopiedTables map[string]bool
+	// TierTables places tables on an explicit execution tier (0 = ASIC,
+	// 1 = NIC CPU, 2 = off-path host). It overrides CPUTables and the
+	// program's placement annotations; a table's floor (Unsupported /
+	// MinTier) still applies, and tiers the cost model does not have are
+	// clamped to its top tier.
+	TierTables map[string]int
 	// VendorCache enables a Netronome-style built-in whole-program flow
 	// cache keyed on the 5-tuple (§5.2.1: "Netronome SmartNICs have a
 	// vendor-native flow cache feature for the whole program").
@@ -295,8 +301,11 @@ type Result struct {
 	LatencyNs float64
 	// Path lists the nodes traversed.
 	Path []string
-	// Migrations counts ASIC<->CPU transitions.
+	// Migrations counts tier transitions (ASIC<->CPU<->off-path).
 	Migrations int
+	// DMACrossings counts the subset of migrations that crossed the
+	// PCIe/DMA boundary to or from an off-path tier.
+	DMACrossings int
 	// CounterUpdates counts profiling counter increments charged.
 	CounterUpdates int
 	// VendorCacheHit marks packets short-circuited by the built-in cache.
@@ -373,7 +382,7 @@ func (n *NIC) run(pl *execPlan, ctx *procCtx, pkt *packet.Packet, sink profile.S
 	}
 
 	cur := pl.root
-	onCPU := false
+	curTier := uint8(0)
 	dropped := false
 
 	for steps := 0; cur >= 0 && steps < pl.maxSteps; steps++ {
@@ -382,10 +391,7 @@ func (n *NIC) run(pl *execPlan, ctx *procCtx, pkt *packet.Packet, sink profile.S
 			ctx.path = append(ctx.path, cur)
 		}
 		if nd.kind == nkCond {
-			mult := 1.0
-			if onCPU {
-				mult = pl.condCPUMult
-			}
+			mult := pl.condTierMult[curTier]
 			lat += pl.condLat * mult
 			taken := nd.cond(pkt)
 			if sampled {
@@ -403,16 +409,22 @@ func (n *NIC) run(pl *execPlan, ctx *procCtx, pkt *packet.Packet, sink profile.S
 			continue
 		}
 
-		// Pipeline placement and migration (tables and caches).
-		if nd.cpu != onCPU && !nd.copied {
-			lat += pl.migrationLat
+		// Tier placement and migration (tables and caches).
+		if nd.tier != curTier && !nd.copied {
+			cost := pl.migCost[curTier][nd.tier]
+			lat += cost
+			if curTier > 1 || nd.tier > 1 {
+				// Off-path crossings are DMA transfers: the descriptor
+				// ring occupies the device for the transfer, so the cost
+				// is also charged on the NIC's virtual clock (two-tier
+				// on-path migrations stay latency-only, as before).
+				res.DMACrossings++
+				n.vnow.Add(int64(cost))
+			}
 			res.Migrations++
-			onCPU = nd.cpu
+			curTier = nd.tier
 		}
-		mult := 1.0
-		if onCPU {
-			mult = pl.cpuSlowdown
-		}
+		mult := pl.tierMult[curTier]
 		rt := nd.rt
 
 		if nd.kind == nkCache {

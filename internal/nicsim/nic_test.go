@@ -740,3 +740,88 @@ func TestMaxEntriesEnforced(t *testing.T) {
 
 // timeNow is a test helper so cache tests read naturally.
 func timeNow() time.Time { return time.Now() }
+
+func offPathParams() costmodel.Params {
+	pm := testParams()
+	pm.OffPathSlowdown = 2
+	pm.DMABaseNs = 100
+	pm.DMAPerPacketNs = 20
+	pm.DMABatch = 1
+	return pm
+}
+
+func TestOffPathTierChargesDMACrossings(t *testing.T) {
+	prog, err := p4ir.ChainTables("p", []p4ir.TableSpec{
+		exactTable("a", "ipv4.dstAddr", "b"),
+		exactTable("b", "ipv4.srcAddr", "c"), // off-path
+		exactTable("c", "tcp.dport", ""),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nic, err := New(prog, Config{Params: offPathParams(), TierTables: map[string]int{"b": 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := nic.Process(pkt(1, 2, 3, 4))
+	if r.Migrations != 2 || r.DMACrossings != 2 {
+		t.Errorf("migrations=%d dma=%d, want 2/2 (ASIC→host→ASIC)", r.Migrations, r.DMACrossings)
+	}
+	// a: 12, DMA 100/1+20=120, b off-path: 12*2=24, DMA 120, c: 12 → 288.
+	if math.Abs(r.LatencyNs-288) > 1e-9 {
+		t.Errorf("latency = %v, want 288", r.LatencyNs)
+	}
+}
+
+func TestTierAnnotationDrivesPlacement(t *testing.T) {
+	prog, err := p4ir.ChainTables("p", []p4ir.TableSpec{
+		exactTable("a", "ipv4.dstAddr", "b"),
+		exactTable("b", "ipv4.srcAddr", ""),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog.Tables["b"].SetTierAssignment(2)
+	nic, err := New(prog, Config{Params: offPathParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := nic.Process(pkt(1, 2, 3, 4))
+	if r.DMACrossings != 1 {
+		t.Errorf("annotated off-path table should cost one DMA crossing, got %d", r.DMACrossings)
+	}
+	// Copied annotation suppresses the crossing.
+	prog2 := prog.Clone()
+	prog2.Tables["b"].SetTierAssignment(0)
+	prog2.Tables["b"].SetTierCopied(true)
+	if err := nic.Swap(prog2); err != nil {
+		t.Fatal(err)
+	}
+	if r := nic.Process(pkt(1, 2, 3, 4)); r.Migrations != 0 {
+		t.Errorf("tier-copied table must not migrate, got %d", r.Migrations)
+	}
+}
+
+func TestOffPathTierClampsOnTwoTierTargets(t *testing.T) {
+	prog, err := p4ir.ChainTables("p", []p4ir.TableSpec{
+		exactTable("a", "ipv4.dstAddr", "b"),
+		exactTable("b", "ipv4.srcAddr", ""),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// testParams has no off-path tier: a tier-2 request degrades to the
+	// NIC CPU and costs a plain on-path migration.
+	nic, err := New(prog, Config{Params: testParams(), TierTables: map[string]int{"b": 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := nic.Process(pkt(1, 2, 3, 4))
+	if r.Migrations != 1 || r.DMACrossings != 0 {
+		t.Errorf("migrations=%d dma=%d, want 1 on-path migration", r.Migrations, r.DMACrossings)
+	}
+	// a: 12, migrate 100, b on CPU: 12*5=60 → 172.
+	if math.Abs(r.LatencyNs-172) > 1e-9 {
+		t.Errorf("latency = %v, want 172", r.LatencyNs)
+	}
+}

@@ -3,6 +3,8 @@ package nicsim
 import (
 	"runtime"
 
+	"pipeleon/internal/costmodel"
+	"pipeleon/internal/p4ir"
 	"pipeleon/internal/profile"
 )
 
@@ -28,8 +30,8 @@ const nilNode int32 = -1
 type execNode struct {
 	name   string
 	kind   nodeKind
-	cpu    bool // placement: true = CPU pipeline
-	copied bool // exists on both pipelines; never migrates
+	tier   uint8 // placement: execution tier (0 = ASIC)
+	copied bool  // replicated on every tier; never migrates
 
 	// Table & cache nodes.
 	rt *runtimeTable
@@ -72,14 +74,21 @@ type execPlan struct {
 	// Folded cost constants.
 	counterUpdate   float64
 	sampleCheckCost float64 // SampleCheckFraction * CounterUpdate
-	cpuSlowdown     float64 // guarded (>0); table-node multiplier
-	condCPUMult     float64 // raw CPUSlowdown (conds historically unguarded)
-	condLat         float64
-	lmat            float64
-	lact            float64
-	migrationLat    float64
-	perPacketOver   float64
-	cacheFillCost   float64
+	numTiers        int
+	// tierMult[t] is the table-node latency multiplier on tier t
+	// (guarded >0); condTierMult[t] is the conditional-node multiplier
+	// (tier 1 keeps the raw CPUSlowdown — conds historically unguarded).
+	tierMult     []float64
+	condTierMult []float64
+	// migCost[from][to] is the per-transition migration charge; any
+	// crossing that involves a tier above 1 is a DMA transfer whose cost
+	// is also charged on the NIC's virtual clock.
+	migCost       [][]float64
+	condLat       float64
+	lmat          float64
+	lact          float64
+	perPacketOver float64
+	cacheFillCost float64
 
 	noiseStd  float64
 	noiseSeed uint64
@@ -116,20 +125,32 @@ func (n *NIC) compile() *execPlan {
 		root:          resolve(n.prog.Root),
 		instrument:    n.cfg.Instrument,
 		counterUpdate: n.pm.CounterUpdate,
-		cpuSlowdown:   n.pm.CPUSlowdown,
-		condCPUMult:   n.pm.CPUSlowdown,
+		numTiers:      n.pm.NumTiers(),
 		condLat:       n.pm.CondLatency(),
 		lmat:          n.pm.Lmat,
 		lact:          n.pm.Lact,
-		migrationLat:  n.pm.MigrationLatency,
 		perPacketOver: n.cfg.PerPacketOverheadNs,
 		cacheFillCost: n.cfg.CacheFillCostNs,
 		noiseStd:      n.cfg.NoiseStdDev,
 		noiseSeed:     n.cfg.Seed + 1,
 		vendor:        n.vendorCache,
 	}
-	if pl.cpuSlowdown <= 0 {
-		pl.cpuSlowdown = 1
+	pl.tierMult = make([]float64, pl.numTiers)
+	pl.condTierMult = make([]float64, pl.numTiers)
+	pl.migCost = make([][]float64, pl.numTiers)
+	for t := 0; t < pl.numTiers; t++ {
+		tid := costmodel.TierID(t)
+		pl.tierMult[t] = n.pm.TierSpeed(tid)
+		if t == 1 {
+			// Conds historically used the raw CPUSlowdown unguarded.
+			pl.condTierMult[t] = n.pm.CPUSlowdown
+		} else {
+			pl.condTierMult[t] = n.pm.TierSpeed(tid)
+		}
+		pl.migCost[t] = make([]float64, pl.numTiers)
+		for u := 0; u < pl.numTiers; u++ {
+			pl.migCost[t][u] = n.pm.MigrationCost(tid, costmodel.TierID(u))
+		}
 	}
 	sampleCheck := n.cfg.SampleCheckFraction
 	if n.cfg.Instrument && sampleCheck == 0 {
@@ -151,8 +172,8 @@ func (n *NIC) compile() *execPlan {
 		if t != nil {
 			rt := n.tables[name]
 			nd.rt = rt
-			nd.cpu = t.Unsupported || n.cfg.CPUTables[name]
-			nd.copied = n.cfg.CopiedTables[name]
+			nd.tier = resolveTier(t, n.cfg, pl.numTiers)
+			nd.copied = n.cfg.CopiedTables[name] || t.TierCopied()
 			nd.lmatTier = n.pm.Lmat * n.pm.TierFactor(t)
 			if fc, isCache := n.caches[name]; isCache {
 				nd.kind = nkCache
@@ -202,6 +223,28 @@ func (n *NIC) compile() *execPlan {
 		pl.shards = n.cfg.Collector.Bind(layout, numShards())
 	}
 	return pl
+}
+
+// resolveTier decides a table's execution tier: explicit TierTables
+// config wins, then the placement annotation, then the legacy CPUTables
+// flag; the result is raised to the table's floor (Unsupported tables
+// never land on the ASIC) and clamped to the tiers the target has.
+func resolveTier(t *p4ir.Table, cfg Config, numTiers int) uint8 {
+	tier := 0
+	if tt, ok := cfg.TierTables[t.Name]; ok {
+		tier = tt
+	} else if at, ok := t.TierAssignment(); ok {
+		tier = at
+	} else if cfg.CPUTables[t.Name] {
+		tier = 1
+	}
+	if f := t.TierFloor(); tier < f {
+		tier = f
+	}
+	if tier >= numTiers {
+		tier = numTiers - 1
+	}
+	return uint8(tier)
 }
 
 // rebuiltNode returns a copy of the plan with one node's runtime table

@@ -103,6 +103,15 @@ type Config struct {
 	// 1 forces serial evaluation. Results are deterministic regardless
 	// of the worker count.
 	SearchWorkers int
+	// EnablePlacement turns on heterogeneous N-tier placement search:
+	// the session proposes a tier assignment + copy plan (as an
+	// annotation-only OptPlacement candidate) whenever the cost model
+	// has more than one tier and the program has software-floored
+	// tables. Off by default so homogeneous searches are unchanged.
+	EnablePlacement bool
+	// MaxPlacementMoves caps the greedy three-way placement search's
+	// committed moves per round. <=0 uses a small default.
+	MaxPlacementMoves int
 	// MeasureWorkers is the core count verification measurements run on
 	// when the deployment target supports batch measurement
 	// (target.BatchMeasurer): the emulator then feeds per-core workers

@@ -1,40 +1,52 @@
 package opt
 
 import (
+	"fmt"
 	"sort"
+	"strings"
 
 	"pipeleon/internal/costmodel"
 	"pipeleon/internal/p4ir"
 	"pipeleon/internal/profile"
 )
 
-// Heterogeneous-target support (§3.2.4): SmartNICs with a mix of ASIC and
-// CPU cores run a partitioned program; packets migrate between pipelines
-// with intermediate state piggybacked (next_tab_id navigation/migration
-// tables, which the emulator models as a per-transition latency). Pipeleon
-// minimizes migration overhead by (1) reordering for longer same-pipeline
-// runs, (2) caching CPU-only results on the ASIC, and (3) copying tables
-// needed by both pipelines. This file implements the placement cost model
-// and the greedy table-copying planner evaluated in Appendix A.2.
+// Heterogeneous-target support (§3.2.4), generalized to N execution
+// tiers: SmartNICs run a partitioned program across an ASIC pipeline,
+// on-path CPU cores, and — on off-path designs — a host/DPU complex
+// behind a PCIe/DMA wall. Packets migrate between tiers with
+// intermediate state piggybacked; each tier pair has its own crossing
+// cost (costmodel.MigrationCost), and off-path crossings amortize with
+// DMA batch depth. Pipeleon minimizes migration overhead by (1)
+// reordering for longer same-tier runs, (2) caching software-only
+// results on the ASIC, and (3) copying tables needed by several tiers.
+// This file implements the placement cost model, the greedy
+// table-copying planner evaluated in Appendix A.2, and the three-way
+// planner that adds single-table re-tiering and the PnO-style
+// whole-stage offload.
 
-// Placement assigns tables to pipelines.
+// Placement assigns tables to execution tiers.
 type Placement struct {
-	// CPU holds tables that only the CPU pipeline can run (unsupported on
-	// the ASIC) or that the planner moved there.
-	CPU map[string]bool
-	// Copies holds tables present on both pipelines; packets execute them
-	// wherever they currently are, avoiding migration at the price of
-	// CPU-speed execution when reached on the CPU side.
+	// Tier maps tables to their assigned execution tier. Absent tables
+	// run on their floor tier (Table.TierFloor, 0 for ordinary tables),
+	// so the zero placement reproduces the legacy "unsupported tables
+	// go to the CPU" baseline.
+	Tier map[string]costmodel.TierID
+	// Copies holds tables replicated on every tier; packets execute
+	// them wherever they currently are, avoiding migration at the price
+	// of that tier's execution speed.
 	Copies map[string]bool
 }
 
 // NewPlacement derives the baseline placement from the program: every
-// table marked Unsupported goes to the CPU.
-func NewPlacement(prog *p4ir.Program) Placement {
-	pl := Placement{CPU: map[string]bool{}, Copies: map[string]bool{}}
+// table sits on its floor tier, which for legacy programs means
+// Unsupported tables go to the NIC CPU. Assignments record intent — a
+// floor above the target's top tier stays as-is and is clamped to the
+// tiers pm actually has only when costs are evaluated (placedTier).
+func NewPlacement(prog *p4ir.Program, pm costmodel.Params) Placement {
+	pl := Placement{Tier: map[string]costmodel.TierID{}, Copies: map[string]bool{}}
 	for name, t := range prog.Tables {
-		if t.Unsupported {
-			pl.CPU[name] = true
+		if d := costmodel.TierID(t.TierFloor()); d > 0 {
+			pl.Tier[name] = d
 		}
 	}
 	return pl
@@ -42,9 +54,9 @@ func NewPlacement(prog *p4ir.Program) Placement {
 
 // clonePlacement deep-copies a placement.
 func clonePlacement(p Placement) Placement {
-	out := Placement{CPU: map[string]bool{}, Copies: map[string]bool{}}
-	for k := range p.CPU {
-		out.CPU[k] = true
+	out := Placement{Tier: map[string]costmodel.TierID{}, Copies: map[string]bool{}}
+	for k, v := range p.Tier {
+		out.Tier[k] = v
 	}
 	for k := range p.Copies {
 		out.Copies[k] = true
@@ -52,67 +64,175 @@ func clonePlacement(p Placement) Placement {
 	return out
 }
 
+// String renders the placement deterministically (sorted names); it is
+// part of the Option.String() verifier/memo key.
+func (p Placement) String() string {
+	var sb strings.Builder
+	sb.WriteString("tier{")
+	names := make([]string, 0, len(p.Tier))
+	for n, d := range p.Tier {
+		if d > 0 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%d", n, int(p.Tier[n]))
+	}
+	sb.WriteString("} copy{")
+	names = names[:0]
+	for n := range p.Copies {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	sb.WriteString(strings.Join(names, ","))
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// clampTier bounds a tier to the tiers the target actually has.
+func clampTier(d costmodel.TierID, numTiers int) costmodel.TierID {
+	if int(d) >= numTiers {
+		d = costmodel.TierID(numTiers - 1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// placedTier resolves a table's effective tier under a placement: the
+// assigned tier, raised to the table's floor, clamped to the target.
+func placedTier(pl Placement, t *p4ir.Table, numTiers int) costmodel.TierID {
+	d := pl.Tier[t.Name]
+	if f := costmodel.TierID(t.TierFloor()); d < f {
+		d = f
+	}
+	return clampTier(d, numTiers)
+}
+
+// rawTierSpeed is the per-tier node-latency multiplier used inside the
+// estimator. Unlike costmodel.TierSpeed it does NOT guard tier 1
+// against CPUSlowdown <= 0 — the legacy estimator applied that guard
+// once, after blending, and reproducing it in the same place keeps the
+// two-tier estimate bit-identical to the original.
+func rawTierSpeed(pm costmodel.Params, d costmodel.TierID) float64 {
+	switch {
+	case d <= 0:
+		return 1
+	case d == 1:
+		return pm.CPUSlowdown
+	}
+	return pm.TierSpeed(d)
+}
+
 // EstimateHeteroLatency computes the expected per-packet latency of a
-// program under a placement, including migration costs, by walking the
-// DAG in topological order while tracking the expected pipeline state.
-// For branch-free chains (the Appendix A.2 benchmark shape) this is
-// exact; for DAGs it approximates by carrying the probability-weighted
-// pipeline state across joins.
-func EstimateHeteroLatency(prog *p4ir.Program, prof *profile.Profile, pm costmodel.Params, pl Placement) float64 {
+// program under a placement, including per-pair migration costs and
+// per-tier update-install stalls, by walking the DAG in topological
+// order while carrying a per-tier probability vector across joins. For
+// branch-free chains (the Appendix A.2 benchmark shape) this is exact;
+// for DAGs it approximates by probability-weighting the tier state.
+// A cyclic or disconnected program returns the TopoOrder error — it
+// used to be silently reported as zero latency, i.e. "free program".
+func EstimateHeteroLatency(prog *p4ir.Program, prof *profile.Profile, pm costmodel.Params, pl Placement) (float64, error) {
 	order, err := prog.TopoOrder()
 	if err != nil {
-		return 0
+		return 0, fmt.Errorf("opt: hetero estimate: %w", err)
 	}
+	nt := pm.NumTiers()
 	reach := prof.ReachProbs(prog)
-	// pCPU[node] = probability the packet is on the CPU pipeline when it
-	// arrives at node (conditioned on reaching it).
-	pCPU := map[string]float64{}
+	// q[node][d-1] = probability the packet is on tier d (d >= 1) when
+	// it arrives at node, conditioned on reaching it. Tier-0 mass is
+	// the residual 1 - sum(q), mirroring the legacy scalar pCPU.
+	q := map[string][]float64{}
+	arrivalOf := func(name string) []float64 {
+		if v := q[name]; v != nil {
+			return v
+		}
+		return make([]float64, nt-1)
+	}
 	var total float64
 	for _, name := range order {
 		mass := reach[name]
 		if mass <= 0 {
 			continue
 		}
-		onCPU := pCPU[name]
+		arr := arrivalOf(name)
 		t, _ := prog.Node(name)
-		var afterCPU float64
+		var after []float64
 		if t != nil {
-			wantsCPU := t.Unsupported || pl.CPU[name]
-			copied := pl.Copies[name]
-			var mult, migProb float64
-			switch {
-			case copied:
-				// Runs wherever the packet is.
-				mult = onCPU*pm.CPUSlowdown + (1-onCPU)*1
-				migProb = 0
-				afterCPU = onCPU
-			case wantsCPU:
-				mult = pm.CPUSlowdown
-				migProb = 1 - onCPU
-				afterCPU = 1
-			default:
-				mult = 1
-				migProb = onCPU
-				afterCPU = 0
+			var qsum float64
+			for _, v := range arr {
+				qsum += v
+			}
+			var mult, mig float64
+			if pl.Copies[name] {
+				// Runs wherever the packet is: blend tier speeds by
+				// arrival mass, no migration, tier state unchanged.
+				for i, v := range arr {
+					mult += v * rawTierSpeed(pm, costmodel.TierID(i+1))
+				}
+				mult += (1 - qsum) * 1
+				after = arr
+			} else {
+				d := placedTier(pl, t, nt)
+				mult = rawTierSpeed(pm, d)
+				if d != 0 {
+					if r := 1 - qsum; r != 0 {
+						mig += r * pm.MigrationCost(0, d)
+					}
+				}
+				for i, v := range arr {
+					if from := costmodel.TierID(i + 1); from != d && v != 0 {
+						mig += v * pm.MigrationCost(from, d)
+					}
+				}
+				after = make([]float64, nt-1)
+				if d != 0 {
+					after[d-1] = 1
+				}
 			}
 			if pm.CPUSlowdown <= 0 {
 				mult = 1
 			}
 			node := pm.NodeLatency(prog, prof, name)
-			total += mass * (node*mult + migProb*pm.MigrationLatency)
+			total += mass * (node*mult + mig)
+			// Entry churn stalls packets while the table's tier installs
+			// updates. Zero for legacy parameter sets, so the term is
+			// skipped and the two-tier estimate stays bit-identical.
+			if !pl.Copies[name] {
+				if stall := pm.TierUpdateStall(placedTier(pl, t, nt)); stall != 0 {
+					if ur := prof.UpdateRate(name); ur != 0 {
+						total += mass * ur * stall
+					}
+				}
+			}
 		} else {
 			total += mass * pm.CondLatency()
-			afterCPU = onCPU
+			after = arr
 		}
-		// Propagate pipeline state to successors (weighted by how much
-		// of their traffic comes from here).
+		// Propagate tier state to successors (weighted by how much of
+		// their traffic comes from here).
 		for _, s := range prog.Successors(name) {
 			if reach[s] > 0 {
-				pCPU[s] += afterCPU * (mass / reach[s]) * edgeShare(prog, prof, name, s)
+				share := edgeShare(prog, prof, name, s)
+				for i, v := range after {
+					if v != 0 {
+						qs := q[s]
+						if qs == nil {
+							qs = make([]float64, nt-1)
+							q[s] = qs
+						}
+						qs[i] += v * (mass / reach[s]) * share
+					}
+				}
 			}
 		}
 	}
-	return total
+	return total, nil
 }
 
 // edgeShare approximates the fraction of `from`'s outgoing traffic that
@@ -150,22 +270,32 @@ func edgeShare(prog *p4ir.Program, prof *profile.Profile, from, to string) float
 	return 0
 }
 
-// GreedyCopyPlan chooses up to maxCopies tables to duplicate onto the CPU
-// pipeline, greedily picking the copy that most reduces the estimated
-// latency each round. It stops early when no copy helps — capturing the
-// Appendix A.2 observation that "copying only one table ... does not
-// reduce the needed migration and performing the copied table on CPU
-// cores is slower", so unprofitable copies are never taken.
-func GreedyCopyPlan(prog *p4ir.Program, prof *profile.Profile, pm costmodel.Params, base Placement, maxCopies int) Placement {
-	best := clonePlacement(base)
-	bestLat := EstimateHeteroLatency(prog, prof, pm, best)
+// copyCandidates lists tables eligible for tier replication, in sorted
+// order: floor-0 tables still on tier 0 whose state is not pinned.
+func copyCandidates(prog *p4ir.Program, base Placement, numTiers int) []string {
 	var names []string
 	for name, t := range prog.Tables {
-		if !t.Unsupported && !base.CPU[name] {
+		if t.TierFloor() == 0 && !t.Sticky && placedTier(base, t, numTiers) == 0 {
 			names = append(names, name)
 		}
 	}
 	sort.Strings(names)
+	return names
+}
+
+// GreedyCopyPlan chooses up to maxCopies tables to replicate across
+// tiers, greedily picking the copy that most reduces the estimated
+// latency each round. It stops early when no copy helps — capturing the
+// Appendix A.2 observation that "copying only one table ... does not
+// reduce the needed migration and performing the copied table on CPU
+// cores is slower", so unprofitable copies are never taken.
+func GreedyCopyPlan(prog *p4ir.Program, prof *profile.Profile, pm costmodel.Params, base Placement, maxCopies int) (Placement, error) {
+	best := clonePlacement(base)
+	bestLat, err := EstimateHeteroLatency(prog, prof, pm, best)
+	if err != nil {
+		return base, err
+	}
+	names := copyCandidates(prog, base, pm.NumTiers())
 	for c := 0; c < maxCopies; c++ {
 		var pick string
 		pickLat := bestLat
@@ -175,7 +305,10 @@ func GreedyCopyPlan(prog *p4ir.Program, prof *profile.Profile, pm costmodel.Para
 			}
 			trial := clonePlacement(best)
 			trial.Copies[name] = true
-			lat := EstimateHeteroLatency(prog, prof, pm, trial)
+			lat, err := EstimateHeteroLatency(prog, prof, pm, trial)
+			if err != nil {
+				return base, err
+			}
 			if lat < pickLat-1e-12 {
 				pick, pickLat = name, lat
 			}
@@ -186,5 +319,148 @@ func GreedyCopyPlan(prog *p4ir.Program, prof *profile.Profile, pm costmodel.Para
 		best.Copies[pick] = true
 		bestLat = pickLat
 	}
-	return best
+	return best, nil
+}
+
+// placementMove is one candidate step of the three-way planner.
+type placementMove struct {
+	// copyTable, when set, replicates one table across tiers.
+	copyTable string
+	// members, when set, moves a contiguous run of tables to tier
+	// `tier` (a single-table re-tier is the len==1 case; len>=2 is the
+	// PnO-style whole-stage offload, which drags a software stage's
+	// neighbors along so the whole run executes behind one crossing).
+	members []string
+	tier    costmodel.TierID
+}
+
+func (m placementMove) apply(pl Placement) Placement {
+	trial := clonePlacement(pl)
+	if m.copyTable != "" {
+		trial.Copies[m.copyTable] = true
+		return trial
+	}
+	for _, name := range m.members {
+		trial.Tier[name] = m.tier
+		// A table that lives on one tier is no longer a cross-tier
+		// replica.
+		delete(trial.Copies, name)
+	}
+	return trial
+}
+
+// GreedyPlacementPlan extends GreedyCopyPlan with three-way moves: each
+// round it considers (a) replicating one table across tiers, (b)
+// re-tiering one table to an off-path tier, and (c) offloading a whole
+// contiguous stage (>= 2 tables, at least one already in software) to
+// an off-path tier, committing the single move that most reduces the
+// estimated latency. With the off-path tier disabled (NumTiers() == 2)
+// moves (b) and (c) enumerate nothing and the search degenerates to
+// exactly GreedyCopyPlan — a property the tests pin bit-for-bit.
+func GreedyPlacementPlan(prog *p4ir.Program, prof *profile.Profile, pm costmodel.Params, base Placement, maxMoves int) (Placement, error) {
+	best := clonePlacement(base)
+	bestLat, err := EstimateHeteroLatency(prog, prof, pm, best)
+	if err != nil {
+		return base, err
+	}
+	nt := pm.NumTiers()
+	order, err := prog.TopoOrder()
+	if err != nil {
+		return base, fmt.Errorf("opt: placement plan: %w", err)
+	}
+	copies := copyCandidates(prog, best, nt)
+	for round := 0; round < maxMoves; round++ {
+		var pick placementMove
+		var picked bool
+		pickLat := bestLat
+		consider := func(m placementMove) error {
+			lat, err := EstimateHeteroLatency(prog, prof, pm, m.apply(best))
+			if err != nil {
+				return err
+			}
+			if lat < pickLat-1e-12 {
+				pick, picked, pickLat = m, true, lat
+			}
+			return nil
+		}
+		// (a) Cross-tier copies, in sorted-name order.
+		for _, name := range copies {
+			if best.Copies[name] {
+				continue
+			}
+			if err := consider(placementMove{copyTable: name}); err != nil {
+				return base, err
+			}
+		}
+		// (b)+(c) Re-tier a table or offload a whole stage to an
+		// off-path tier. Enumerate contiguous runs of tables in topo
+		// order; a run qualifies when it contains at least one table
+		// already placed in software (tier >= 1) — the PnO insight is
+		// that the stateful software stage drags its neighbors along.
+		for d := costmodel.TierID(2); int(d) < nt; d++ {
+			for _, run := range tableRuns(prog, order) {
+				for lo := 0; lo < len(run); lo++ {
+					for hi := lo; hi < len(run); hi++ {
+						seg := run[lo : hi+1]
+						ok := false
+						for _, name := range seg {
+							t := prog.Tables[name]
+							if placedTier(best, t, nt) >= 1 {
+								ok = true
+							}
+							if t.TierFloor() > int(d) {
+								ok = false
+								break
+							}
+						}
+						if !ok || segmentOnTier(prog, best, seg, d, nt) {
+							continue
+						}
+						if err := consider(placementMove{members: append([]string(nil), seg...), tier: d}); err != nil {
+							return base, err
+						}
+					}
+				}
+			}
+		}
+		if !picked {
+			break
+		}
+		best = pick.apply(best)
+		bestLat = pickLat
+	}
+	return best, nil
+}
+
+// tableRuns splits the topological order into maximal runs of
+// consecutive table nodes (conditionals break runs: a stage offloaded
+// behind one DMA crossing cannot span a branch the ASIC resolves).
+func tableRuns(prog *p4ir.Program, order []string) [][]string {
+	var runs [][]string
+	var cur []string
+	for _, name := range order {
+		if t, _ := prog.Node(name); t != nil {
+			cur = append(cur, name)
+			continue
+		}
+		if len(cur) > 0 {
+			runs = append(runs, cur)
+			cur = nil
+		}
+	}
+	if len(cur) > 0 {
+		runs = append(runs, cur)
+	}
+	return runs
+}
+
+// segmentOnTier reports whether every table of seg is already placed on
+// tier d (such a move would be a no-op).
+func segmentOnTier(prog *p4ir.Program, pl Placement, seg []string, d costmodel.TierID, numTiers int) bool {
+	for _, name := range seg {
+		if placedTier(pl, prog.Tables[name], numTiers) != d {
+			return false
+		}
+	}
+	return true
 }

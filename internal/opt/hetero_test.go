@@ -39,19 +39,29 @@ func heteroParams() costmodel.Params {
 	return pm
 }
 
+// estimate is a test helper that fails on estimator errors.
+func estimate(t *testing.T, prog *p4ir.Program, prof *profile.Profile, pm costmodel.Params, pl Placement) float64 {
+	t.Helper()
+	lat, err := EstimateHeteroLatency(prog, prof, pm, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lat
+}
+
 func TestEstimateHeteroLatencyCountsMigrations(t *testing.T) {
 	prog := interlaced(t)
 	prof := profile.New()
 	pm := heteroParams()
-	base := NewPlacement(prog)
-	lat := EstimateHeteroLatency(prog, prof, pm, base)
-	// Sanity: homogeneous version (nothing on CPU) is much cheaper.
-	none := Placement{CPU: map[string]bool{}, Copies: map[string]bool{}}
+	base := NewPlacement(prog, pm)
+	lat := estimate(t, prog, prof, pm, base)
+	// Sanity: homogeneous version (nothing in software) is much cheaper.
+	none := Placement{Tier: map[string]costmodel.TierID{}, Copies: map[string]bool{}}
 	progAll := prog.Clone()
 	for _, tbl := range progAll.Tables {
 		tbl.Unsupported = false
 	}
-	latNone := EstimateHeteroLatency(progAll, prof, pm, none)
+	latNone := estimate(t, progAll, prof, pm, none)
 	if lat <= latNone {
 		t.Errorf("heterogeneous latency %v should exceed homogeneous %v", lat, latNone)
 	}
@@ -60,9 +70,19 @@ func TestEstimateHeteroLatencyCountsMigrations(t *testing.T) {
 	copied := clonePlacement(base)
 	copied.Copies["s1"] = true
 	copied.Copies["s2"] = true
-	latCopied := EstimateHeteroLatency(prog, prof, pm, copied)
+	latCopied := estimate(t, prog, prof, pm, copied)
 	if latCopied >= lat {
 		t.Errorf("copying the s1,s2 pair should help: %v >= %v", latCopied, lat)
+	}
+}
+
+func TestEstimateHeteroLatencyReportsTopoError(t *testing.T) {
+	// A cycle makes TopoOrder fail; the estimator must surface that
+	// instead of pricing the program at zero.
+	prog := interlaced(t)
+	prog.Tables["u3"].BaseNext = "u1"
+	if _, err := EstimateHeteroLatency(prog, profile.New(), heteroParams(), NewPlacement(prog, heteroParams())); err == nil {
+		t.Fatal("cyclic program must return an error, not 0 latency")
 	}
 }
 
@@ -73,11 +93,11 @@ func TestSingleCopyInPairDoesNotHelp(t *testing.T) {
 	prog := interlaced(t)
 	prof := profile.New()
 	pm := heteroParams()
-	base := NewPlacement(prog)
-	lat := EstimateHeteroLatency(prog, prof, pm, base)
+	base := NewPlacement(prog, pm)
+	lat := estimate(t, prog, prof, pm, base)
 	one := clonePlacement(base)
 	one.Copies["s1"] = true
-	latOne := EstimateHeteroLatency(prog, prof, pm, one)
+	latOne := estimate(t, prog, prof, pm, one)
 	if latOne < lat {
 		t.Errorf("single mid-pair copy should not help: %v < %v", latOne, lat)
 	}
@@ -87,13 +107,16 @@ func TestGreedyCopyPlanAvoidsBadCopies(t *testing.T) {
 	prog := interlaced(t)
 	prof := profile.New()
 	pm := heteroParams()
-	base := NewPlacement(prog)
+	base := NewPlacement(prog, pm)
 	// Greedy is one-step: since no single copy helps in the pair-shaped
 	// program, it must stop without copying anything (it never makes
 	// latency worse).
-	plan := GreedyCopyPlan(prog, prof, pm, base, 4)
-	latBase := EstimateHeteroLatency(prog, prof, pm, base)
-	latPlan := EstimateHeteroLatency(prog, prof, pm, plan)
+	plan, err := GreedyCopyPlan(prog, prof, pm, base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	latBase := estimate(t, prog, prof, pm, base)
+	latPlan := estimate(t, prog, prof, pm, plan)
 	if latPlan > latBase+1e-9 {
 		t.Errorf("greedy plan made things worse: %v > %v", latPlan, latBase)
 	}
@@ -118,12 +141,108 @@ func TestGreedyCopyPlanTakesProfitableCopies(t *testing.T) {
 	}
 	prof := profile.New()
 	pm := heteroParams()
-	base := NewPlacement(prog)
-	plan := GreedyCopyPlan(prog, prof, pm, base, 4)
+	base := NewPlacement(prog, pm)
+	plan, err := GreedyCopyPlan(prog, prof, pm, base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !plan.Copies["s1"] || !plan.Copies["s2"] {
 		t.Errorf("greedy should copy both singletons: %v", plan.Copies)
 	}
-	if EstimateHeteroLatency(prog, prof, pm, plan) >= EstimateHeteroLatency(prog, prof, pm, base) {
+	if estimate(t, prog, prof, pm, plan) >= estimate(t, prog, prof, pm, base) {
 		t.Error("plan should strictly improve latency")
+	}
+}
+
+// offPathParams configures a three-tier target where the off-path tier
+// runs software faster than the NIC CPU (the off-path DPU premise) but
+// costs a DMA crossing to reach.
+func offPathParams() costmodel.Params {
+	pm := heteroParams()
+	pm.OffPathSlowdown = 1.5 // faster than the NIC CPU's 5x
+	pm.DMABaseNs = 3000
+	pm.DMAPerPacketNs = 60
+	pm.DMABatch = 32
+	return pm
+}
+
+func TestStickyTableIsNeverCopied(t *testing.T) {
+	var specs []p4ir.TableSpec
+	mk := func(name string, unsupported, sticky bool) p4ir.TableSpec {
+		return p4ir.TableSpec{
+			Name:        name,
+			Keys:        []p4ir.Key{{Field: "ipv4.dstAddr", Kind: p4ir.MatchExact, Width: 32}},
+			Actions:     []*p4ir.Action{p4ir.NoopAction("n")},
+			Unsupported: unsupported,
+			Sticky:      sticky,
+		}
+	}
+	specs = []p4ir.TableSpec{
+		mk("u1", true, false), mk("s1", false, true), mk("u2", true, false),
+	}
+	prog, err := p4ir.ChainTables("sticky", specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := heteroParams()
+	plan, err := GreedyCopyPlan(prog, profile.New(), pm, NewPlacement(prog, pm), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Copies["s1"] {
+		t.Fatal("sticky table must never be replicated")
+	}
+}
+
+func TestGreedyPlacementPlanOffloadsWholeStage(t *testing.T) {
+	// u1 u2 u3 form a contiguous software stage between supported
+	// endpoints. On a three-tier target whose off-path cores are much
+	// faster than the NIC CPU and whose DMA is cheap, the PnO-style
+	// whole-stage offload should land the run off-path.
+	prog := interlaced(t)
+	prof := profile.New()
+	pm := offPathParams()
+	pm.CPUSlowdown = 8 // make the on-path CPU painful
+	base := NewPlacement(prog, pm)
+	plan, err := GreedyPlacementPlan(prog, prof, pm, base, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	latBase := estimate(t, prog, prof, pm, base)
+	latPlan := estimate(t, prog, prof, pm, plan)
+	if latPlan >= latBase {
+		t.Fatalf("three-way plan should improve latency: %v >= %v", latPlan, latBase)
+	}
+	moved := 0
+	for _, d := range plan.Tier {
+		if d >= 2 {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatalf("expected at least one table moved off-path, plan %v", plan.Tier)
+	}
+}
+
+func TestGreedyPlacementPlanRespectsTierFloor(t *testing.T) {
+	prog := interlaced(t)
+	prog.Tables["u2"].MinTier = 2 // must stay off-path
+	prof := profile.New()
+	pm := offPathParams()
+	base := NewPlacement(prog, pm)
+	if got := placedTier(base, prog.Tables["u2"], pm.NumTiers()); got != 2 {
+		t.Fatalf("baseline tier of floor-2 table = %d, want 2", got)
+	}
+	plan, err := GreedyPlacementPlan(prog, prof, pm, base, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := placedTier(plan, prog.Tables["u2"], pm.NumTiers()); got != 2 {
+		t.Fatalf("plan dropped a floor-2 table to tier %d", got)
+	}
+	// On a two-tier target the floor clamps to the top tier.
+	two := heteroParams()
+	if got := placedTier(NewPlacement(prog, two), prog.Tables["u2"], two.NumTiers()); got != 1 {
+		t.Fatalf("clamped tier = %d, want 1", got)
 	}
 }

@@ -47,6 +47,10 @@ const (
 	// OptGroupCache inserts one cache covering an entire pipelet group,
 	// including its branch node (§4.1.1 joint optimization).
 	OptGroupCache
+	// OptPlacement assigns tables to execution tiers (and replicates
+	// some across tiers) on a heterogeneous target. It rewrites only
+	// placement annotations, never program structure.
+	OptPlacement
 )
 
 // Option is one optimization candidate with its estimated benefit and
@@ -63,6 +67,9 @@ type Option struct {
 	// Group and Members describe group candidates.
 	Group   *pipelet.Group
 	Members []*Option // OptGroupCombo: chosen option per member (nil = unchanged)
+
+	// Placement describes an OptPlacement candidate.
+	Placement *Placement
 
 	// Gain is the expected reduction of whole-program latency in
 	// nanoseconds (pipelet gain weighted by reach probability).
@@ -82,6 +89,8 @@ func (o *Option) SegTables(s Segment) []string {
 // "reorder[t3 t1 t2] cache[t3,t1]".
 func (o *Option) String() string {
 	switch o.Kind {
+	case OptPlacement:
+		return "placement " + o.Placement.String()
 	case OptGroupCache:
 		return fmt.Sprintf("group-cache@%s", o.Group.Branch)
 	case OptGroupCombo:

@@ -258,6 +258,21 @@ func (s *Session) searchLocked(prof *profile.Profile) (*SearchResult, error) {
 		}
 	}
 
+	// Placement phase: on heterogeneous targets, propose one tier
+	// assignment + copy plan as an annotation-only candidate unit. It is
+	// memoized like any unit (keyed by the exact material the estimator
+	// reads) and competes in the global knapsack below.
+	if s.cfg.EnablePlacement {
+		unit, cand, err := s.placementUnit(prof, fc, od, sig)
+		if err != nil {
+			return nil, err
+		}
+		res.CandidatesEvaluated += cand
+		if unit != nil && len(unit.Options) > 0 {
+			res.Units = append(res.Units, *unit)
+		}
+	}
+
 	res.Plan = s.verifyPlan(GlobalOptimize(res.Units, s.cfg.MemoryBudget, s.cfg.UpdateBudget, s.cfg))
 	res.Gain = PlanGain(res.Plan)
 	res.Elapsed = time.Since(start)
@@ -328,6 +343,108 @@ func (s *Session) ReScore(prof *profile.Profile, plan []*Option) float64 {
 		total += sc
 	}
 	return total
+}
+
+// placementUnit runs the greedy N-tier placement search and wraps the
+// resulting plan (when it beats the baseline placement) in a
+// single-option unit. Outcomes — including "nothing profitable" — are
+// memoized under the same material-fold discipline as pipelet units, so
+// warm rounds with unchanged inputs skip the greedy search entirely.
+func (s *Session) placementUnit(prof *profile.Profile, fc, od uint64, sig string) (*Unit, int, error) {
+	if s.pm.NumTiers() < 2 {
+		return nil, 0, nil
+	}
+	software := false
+	for _, t := range s.prog.Tables {
+		if t.TierFloor() > 0 {
+			software = true
+			break
+		}
+	}
+	if !software {
+		return nil, 0, nil
+	}
+	const key = "placement:*"
+	mat := s.placementMaterial(prof, fc, od)
+	if e, ok := s.memo[key]; ok && materialEqual(e.material, mat) {
+		s.stats.UnitHits++
+		if len(e.unit.Options) == 0 {
+			return nil, e.candidates, nil
+		}
+		u := e.unit
+		return &u, e.candidates, nil
+	}
+	s.stats.UnitMisses++
+
+	maxMoves := s.cfg.MaxPlacementMoves
+	if maxMoves <= 0 {
+		maxMoves = 8
+	}
+	base := NewPlacement(s.prog, s.pm)
+	baseLat, err := EstimateHeteroLatency(s.prog, prof, s.pm, base)
+	if err != nil {
+		return nil, 0, err
+	}
+	plan, err := GreedyPlacementPlan(s.prog, prof, s.pm, base, maxMoves)
+	if err != nil {
+		return nil, 0, err
+	}
+	planLat, err := EstimateHeteroLatency(s.prog, prof, s.pm, plan)
+	if err != nil {
+		return nil, 0, err
+	}
+	var unit Unit
+	if gain := baseLat - planLat; gain > 1e-12 {
+		o := &Option{Kind: OptPlacement, Placement: &plan, Gain: gain}
+		// Sorted accumulation: float sums are order-sensitive and map
+		// iteration is not, and warm and cold sessions must agree bitwise.
+		copies := make([]string, 0, len(plan.Copies))
+		for name := range plan.Copies {
+			copies = append(copies, name)
+		}
+		sort.Strings(copies)
+		for _, name := range copies {
+			if t := s.prog.Tables[name]; t != nil {
+				o.MemCost += len(t.Entries) * t.EntryBytes() * s.pm.MatchComplexity(t)
+				o.UpdateCost += prof.UpdateRate(name)
+			}
+		}
+		unit = Unit{Name: "placement", Options: []*Option{o}}
+	}
+	s.memo[key] = &unitEntry{sig: sig, material: mat, unit: unit, candidates: 1}
+	if len(unit.Options) == 0 {
+		return nil, 1, nil
+	}
+	return &unit, 1, nil
+}
+
+// placementMaterial folds everything EstimateHeteroLatency reads:
+// per-node reach, each table's rate material, update rate (the tier
+// update-stall term), per-action probabilities (edge shares on
+// switch-case tables), and each conditional's branch probability.
+func (s *Session) placementMaterial(prof *profile.Profile, fc, od uint64) []uint64 {
+	names := s.prog.NodeNames()
+	sort.Strings(names)
+	reach := prof.ReachProbs(s.prog)
+	m := make([]uint64, 0, 2+7*len(names))
+	m = append(m, fc, od)
+	for _, name := range names {
+		m = append(m, math.Float64bits(reach[name]))
+		t, _ := s.prog.Node(name)
+		if t == nil {
+			m = append(m, math.Float64bits(prof.BranchProb(name)))
+			continue
+		}
+		m = appendTableMaterial(m, s.ev, name)
+		m = append(m, math.Float64bits(prof.UpdateRate(name)))
+		if t.IsSwitchCase() {
+			probs := prof.ActionProb(t)
+			for _, a := range t.Actions {
+				m = append(m, math.Float64bits(probs[a.Name]))
+			}
+		}
+	}
+	return m
 }
 
 // groupKey identifies a group unit by its entry branch and member

@@ -74,8 +74,8 @@ func sameResults(t *testing.T, label string, cold, warm *SearchResult) {
 			co, wo := cu.Options[j], wu.Options[j]
 			if co.String() != wo.String() || co.Gain != wo.Gain ||
 				co.MemCost != wo.MemCost || co.UpdateCost != wo.UpdateCost {
-				t.Fatalf("%s: unit %s option %d differs: %s gain=%v vs %s gain=%v",
-					label, cu.Name, j, co, co.Gain, wo, wo.Gain)
+				t.Fatalf("%s: unit %s option %d differs: %s gain=%v mem=%d upd=%v vs %s gain=%v mem=%d upd=%v",
+					label, cu.Name, j, co, co.Gain, co.MemCost, co.UpdateCost, wo, wo.Gain, wo.MemCost, wo.UpdateCost)
 			}
 		}
 	}
@@ -121,6 +121,27 @@ func TestWarmSessionMatchesColdSearch(t *testing.T) {
 		if i%5 == 0 {
 			cfg.MemoryBudget = 1 << 16
 			cfg.UpdateBudget = 4000
+		}
+		// A third of the corpus exercises the N-tier placement unit (and
+		// its memo): floor some tables off the ASIC and enable the
+		// placement search. i%3==0 seeds use BlueField2, which has the
+		// off-path tier, so the three-way planner runs in earnest.
+		if i%3 == 0 {
+			names := make([]string, 0, len(prog.Tables))
+			for name := range prog.Tables {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for j, name := range names {
+				switch j % 4 {
+				case 1:
+					prog.Tables[name].Unsupported = true
+				case 3:
+					prog.Tables[name].MinTier = 1
+				}
+			}
+			cfg.EnablePlacement = true
+			cfg.MaxPlacementMoves = 4
 		}
 
 		s, err := NewSession(prog, pm, cfg)

@@ -186,6 +186,13 @@ func (v *planVerifier) touch(set map[string]bool, o *Option) {
 		for _, p := range v.preds[o.Group.Branch] {
 			set[p] = true
 		}
+	case OptPlacement:
+		for t := range o.Placement.Tier {
+			set[t] = true
+		}
+		for t := range o.Placement.Copies {
+			set[t] = true
+		}
 	}
 }
 

@@ -30,7 +30,9 @@ type TableSpec struct {
 	Next          string            // BaseNext
 	ActionNext    map[string]string // switch-case successors
 	MaxEntries    int
-	Unsupported   bool
+	Unsupported   bool // deprecated alias for MinTier >= 1
+	MinTier       int  // lowest execution tier (0 = anywhere)
+	Sticky        bool // state may move but never be copied
 	Entries       []Entry
 }
 
@@ -53,6 +55,8 @@ func (b *Builder) Table(spec TableSpec) *Builder {
 		ActionNext:    spec.ActionNext,
 		MaxEntries:    spec.MaxEntries,
 		Unsupported:   spec.Unsupported,
+		MinTier:       spec.MinTier,
+		Sticky:        spec.Sticky,
 		Entries:       spec.Entries,
 	}
 	if t.DefaultAction == "" && len(t.Actions) > 0 {

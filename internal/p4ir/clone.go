@@ -24,6 +24,8 @@ func (t *Table) Clone() *Table {
 		BaseNext:      t.BaseNext,
 		MaxEntries:    t.MaxEntries,
 		Unsupported:   t.Unsupported,
+		MinTier:       t.MinTier,
+		Sticky:        t.Sticky,
 	}
 	nt.Actions = make([]*Action, len(t.Actions))
 	for i, a := range t.Actions {

@@ -170,6 +170,31 @@ func ApplyMemoryTiers(prog *Program, plan TierPlan) *Program {
 	return opt.ApplyMemoryTiers(prog, plan)
 }
 
+// Placement assigns tables to execution tiers — the ASIC, the on-path NIC
+// CPU cores, and (on targets that model one) the off-path DPU/host tier —
+// and marks tables copied onto every tier (§3.2.4, appendix A.2).
+type Placement = opt.Placement
+
+// NewPlacement derives the baseline placement from the program's tier
+// floors: tables whose actions the ASIC cannot run start on the CPU tier.
+func NewPlacement(prog *Program, target Target) Placement {
+	return opt.NewPlacement(prog, target)
+}
+
+// EstimateHeteroLatency predicts mean per-packet latency under a
+// placement, including per-tier execution speed, migration and DMA
+// transfer charges, and table-update stalls.
+func EstimateHeteroLatency(prog *Program, prof *Profile, target Target, pl Placement) (float64, error) {
+	return opt.EstimateHeteroLatency(prog, prof, target, pl)
+}
+
+// PlanPlacement greedily improves a placement with up to maxMoves table
+// copies, re-tierings, and whole-stage off-path offloads. On a two-tier
+// target it reduces to the appendix A.2 table-copying planner.
+func PlanPlacement(prog *Program, prof *Profile, target Target, base Placement, maxMoves int) (Placement, error) {
+	return opt.GreedyPlacementPlan(prog, prof, target, base, maxMoves)
+}
+
 // Diagnostic is one static-analysis finding, with a stable rule code, a
 // warn/error severity, and node/field position.
 type Diagnostic = diag.Diagnostic
