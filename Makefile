@@ -20,12 +20,13 @@ fmtcheck:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # lint runs the project's own static analyzers: the architecture linter
-# over the module (layering + determinism rules) and the P4 program
-# analyzer over the checked-in program corpus (each trace is linted under
-# its recorded cost model).
+# over the module (layering + determinism + diag-code rules) and the P4
+# program analyzer — with the symbolic -deep tier — over the checked-in
+# program corpus (each trace is linted under its recorded cost model).
+# p4lint exits 1 on warnings, so the corpus must stay warning-free.
 lint:
 	$(GO) run ./cmd/archlint .
-	$(GO) run ./cmd/p4lint -q testdata/dash.p4 testdata/traces/bluefield2.json testdata/traces/agiliocx.json
+	$(GO) run ./cmd/p4lint -q -deep testdata/dash.p4 testdata/traces/bluefield2.json testdata/traces/agiliocx.json
 
 # fuzz gives every native fuzz target a short budget of engine time on
 # top of the checked-in seed corpora (which `go test` already replays as
@@ -38,6 +39,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzLoadValidate$$' -fuzztime $(FUZZTIME) ./internal/p4ir/
 	$(GO) test -run '^$$' -fuzz '^FuzzPlanCompileProcess$$' -fuzztime $(FUZZTIME) ./internal/nicsim/
 	$(GO) test -run '^$$' -fuzz '^FuzzSPSCOps$$' -fuzztime $(FUZZTIME) ./internal/ring/
+	$(GO) test -run '^$$' -fuzz '^FuzzAbsintAgree$$' -fuzztime $(FUZZTIME) ./internal/analysis/absint/
 
 # ci is the full continuous-integration chain: formatting, static checks,
 # compile, the complete suite under the race detector, and a short fuzz

@@ -6,7 +6,9 @@ import (
 	"go/parser"
 	"go/token"
 	"io/fs"
+	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -130,6 +132,11 @@ func lintModule(root string) ([]Violation, error) {
 		}
 		out = append(out, vs...)
 	}
+	vs, err := lintDiagCodes(fset, root)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, vs...)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Pos.Filename != out[j].Pos.Filename {
 			return out[i].Pos.Filename < out[j].Pos.Filename
@@ -169,6 +176,108 @@ func lintDir(fset *token.FileSet, dir string, match func(string) bool, check fun
 		return nil
 	})
 	return out, err
+}
+
+// diagCodeRE matches the stable diagnostic codes the analyzer emits
+// (PLxxx structural/symbolic lint, RWxxx rewrite proofs, SExxx semantic
+// equivalence). Each code is the contract between the analyzer and
+// everything that filters on it (CI, the deploy gate, operators reading
+// round reports), so two rules apply module-wide: a code is declared by
+// exactly one constant, and every declared code has a row in the root
+// DESIGN.md diagnostics table (rendered there as `CODE` in backticks).
+var diagCodeRE = regexp.MustCompile(`^(PL|RW|SE)[0-9]{3}$`)
+
+// lintDiagCodes walks every non-test .go file in the module, collects
+// constant declarations whose value is a diag-code string literal, and
+// reports duplicates and codes missing from DESIGN.md.
+func lintDiagCodes(fset *token.FileSet, root string) ([]Violation, error) {
+	design, err := os.ReadFile(filepath.Join(root, "DESIGN.md"))
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	var out []Violation
+	firstDecl := map[string]token.Position{}
+	// Deterministic order regardless of map/walk quirks: collect decls,
+	// then judge them sorted by position.
+	type decl struct {
+		code string
+		pos  token.Position
+	}
+	var decls []decl
+	walkErr := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Fixture trees under testdata are not part of the module's
+			// code-facing surface.
+			if d.Name() == "testdata" || strings.HasPrefix(d.Name(), ".") && path != root {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		base := d.Name()
+		if !strings.HasSuffix(base, ".go") || strings.HasSuffix(base, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+		for _, dcl := range f.Decls {
+			gd, ok := dcl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					lit, ok := v.(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						continue
+					}
+					code, err := strconv.Unquote(lit.Value)
+					if err != nil || !diagCodeRE.MatchString(code) {
+						continue
+					}
+					decls = append(decls, decl{code, fset.Position(lit.Pos())})
+				}
+			}
+		}
+		return nil
+	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	sort.Slice(decls, func(i, j int) bool {
+		if decls[i].pos.Filename != decls[j].pos.Filename {
+			return decls[i].pos.Filename < decls[j].pos.Filename
+		}
+		return decls[i].pos.Line < decls[j].pos.Line
+	})
+	for _, dc := range decls {
+		if prev, dup := firstDecl[dc.code]; dup {
+			out = append(out, Violation{
+				Pos:  dc.pos,
+				Rule: "diag-code",
+				Msg: fmt.Sprintf("diagnostic code %s already declared at %s:%d; codes must be unique module-wide",
+					dc.code, prev.Filename, prev.Line),
+			})
+			continue
+		}
+		firstDecl[dc.code] = dc.pos
+		if !strings.Contains(string(design), "`"+dc.code+"`") {
+			out = append(out, Violation{
+				Pos:  dc.pos,
+				Rule: "diag-code",
+				Msg:  fmt.Sprintf("diagnostic code %s has no row in DESIGN.md's diagnostics table", dc.code),
+			})
+		}
+	}
+	return out, nil
 }
 
 func checkImports(fset *token.FileSet, f *ast.File, r importRule) []Violation {

@@ -206,6 +206,64 @@ var g = costmodel.TierOffPath
 	}
 }
 
+func TestDiagCodeViolations(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		// PL900 documented + unique: clean. PL901 undocumented. PL902
+		// declared twice. Non-const literals and testdata are ignored.
+		"internal/analysis/codes.go": `package analysis
+
+const (
+	CodeFine  = "PL900"
+	CodeNoDoc = "PL901"
+	CodeDup   = "PL902"
+)
+`,
+		"internal/other/dup.go": `package other
+
+const CodeAgain = "PL902"
+`,
+		"internal/other/usage.go": `package other
+
+func use() string { return "PL900" }
+`,
+		"internal/other/testdata/fake.go": `package fake
+
+const CodeHidden = "PL999"
+`,
+		"internal/other/codes_test.go": `package other
+
+const CodeTestOnly = "PL998"
+`,
+		"DESIGN.md": "| `PL900` | warn | a documented code |\n| `PL902` | warn | the duplicated one |\n",
+	})
+	vs, err := lintModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 {
+		t.Fatalf("got %d violations, want 2: %v", len(vs), vs)
+	}
+	for _, v := range vs {
+		if v.Rule != "diag-code" {
+			t.Errorf("unexpected rule %q: %v", v.Rule, v)
+		}
+	}
+	byCode := map[string]string{}
+	for _, v := range vs {
+		for _, code := range []string{"PL901", "PL902"} {
+			if strings.Contains(v.Msg, code) {
+				byCode[code] = v.Msg
+			}
+		}
+	}
+	if !strings.Contains(byCode["PL901"], "DESIGN.md") {
+		t.Errorf("PL901: %q, want missing-documentation violation", byCode["PL901"])
+	}
+	if !strings.Contains(byCode["PL902"], "already declared") {
+		t.Errorf("PL902: %q, want duplicate-declaration violation", byCode["PL902"])
+	}
+}
+
 func TestMissingDirsAreNotErrors(t *testing.T) {
 	vs, err := lintModule(t.TempDir())
 	if err != nil {

@@ -17,3 +17,16 @@ func TestExampleProgramLintsClean(t *testing.T) {
 		t.Errorf("example program has error diagnostics:\n%v", l.Errors())
 	}
 }
+
+// The symbolic tier must come back empty too: no dead or shadowed
+// entries, decided branches, dead writes, or proven truncations ship in
+// an example.
+func TestExampleProgramDeepLintsClean(t *testing.T) {
+	prog, err := buildCPDemo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := pipeleon.LintDeep(prog, pipeleon.BlueField2()); len(l) > 0 {
+		t.Errorf("example program has symbolic-tier findings:\n%v", l)
+	}
+}

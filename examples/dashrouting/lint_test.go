@@ -13,3 +13,12 @@ func TestExampleProgramLintsClean(t *testing.T) {
 		t.Errorf("example program has error diagnostics:\n%v", l.Errors())
 	}
 }
+
+// The symbolic tier must come back empty too: no dead or shadowed
+// entries, decided branches, dead writes, or proven truncations ship in
+// an example.
+func TestExampleProgramDeepLintsClean(t *testing.T) {
+	if l := pipeleon.LintDeep(buildDash(), pipeleon.AgilioCX()); len(l) > 0 {
+		t.Errorf("example program has symbolic-tier findings:\n%v", l)
+	}
+}

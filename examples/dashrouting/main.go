@@ -45,11 +45,16 @@ func acl(name, field string, width int, dropVal uint64) pipeleon.TableSpec {
 		},
 		DefaultAction: "permit",
 	}
+	// Two permit entries in each of six mask classes. Priority tracks
+	// mask specificity (most specific wins) and the masked values stay
+	// distinct within a class, so no entry is shadowed by a coarser,
+	// higher-priority one and none loses the install-time dedup — the
+	// symbolic lint tier (PL201/PL202) proves every entry selectable.
 	for i := 0; i < 12; i++ {
 		mask := full &^ ((uint64(1) << ((i % 6) * 2)) - 1)
 		ts.Entries = append(ts.Entries, pipeleon.Entry{
-			Priority: 1 + i%6,
-			Match:    []pipeleon.MatchValue{{Value: uint64(i*37) & mask, Mask: mask}},
+			Priority: 6 - i%6,
+			Match:    []pipeleon.MatchValue{{Value: (uint64(i) << 10) & mask & full, Mask: mask}},
 			Action:   "permit",
 		})
 	}

@@ -21,3 +21,16 @@ func TestExampleProgramLintsClean(t *testing.T) {
 		t.Errorf("example program has error diagnostics:\n%v", l.Errors())
 	}
 }
+
+// The symbolic tier must come back empty too: no dead or shadowed
+// entries, decided branches, dead writes, or proven truncations ship in
+// an example.
+func TestExampleProgramDeepLintsClean(t *testing.T) {
+	prog, err := pipeleon.LoadProgram("../../testdata/dash.p4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := pipeleon.LintDeep(prog, pipeleon.AgilioCX()); len(l) > 0 {
+		t.Errorf("example program has symbolic-tier findings:\n%v", l)
+	}
+}

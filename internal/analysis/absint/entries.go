@@ -1,0 +1,359 @@
+package absint
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"pipeleon/internal/p4ir"
+)
+
+// Shadow reports one table entry that can never be selected.
+type Shadow struct {
+	// Entry is the index of the dead entry; By the index of the entry that
+	// kills it (for Covered shadows, a representative of the killing mask
+	// group).
+	Entry int
+	By    int
+	// Duplicate marks build-time dedup losers: the entry has the same
+	// masks and masked key as By, so the lookup structure keeps only one
+	// of them (higher priority wins, first-installed wins ties).
+	Duplicate bool
+	// Covered marks entries beaten by a fully-enumerated mask group:
+	// every packet matches some group member, and every member wins the
+	// priority probe against the entry. Neither Duplicate nor Covered
+	// means a pairwise ternary strict-priority domination: every packet
+	// the entry matches also matches By at strictly higher priority.
+	Covered bool
+}
+
+func (s Shadow) String() string {
+	switch {
+	case s.Duplicate:
+		return fmt.Sprintf("entry %d duplicates the masked key of entry %d and loses the build-time dedup", s.Entry, s.By)
+	case s.Covered:
+		return fmt.Sprintf("entry %d can never win: the fully-enumerated mask group of entry %d claims every packet it could match first", s.Entry, s.By)
+	}
+	return fmt.Sprintf("entry %d is strictly dominated by entry %d (superset match at higher priority)", s.Entry, s.By)
+}
+
+// TableFacts bundles the static lookup facts of one table.
+type TableFacts struct {
+	// Shadows lists entries that can never be selected.
+	Shadows []Shadow
+	// MustHit reports that no packet can miss the table: some mask group
+	// enumerates every masked value of its mask, so every key matches one
+	// of its entries.
+	MustHit bool
+}
+
+// TableShadows finds entries of t that provably can never be selected by
+// the emulator's lookup. It is AnalyzeTable's shadow list.
+func TableShadows(t *p4ir.Table) []Shadow {
+	return AnalyzeTable(t).Shadows
+}
+
+// AnalyzeTable derives the static lookup facts of one table, mirroring
+// the emulator's build-time dedup (within a mask group, one winner per
+// masked key), its highest-priority-wins ternary probe (earlier-installed
+// mask groups win priority ties), and mask-group coverage. Priority ties
+// between entries are otherwise order-dependent and never reported.
+// Structurally invalid entries (key arity mismatch) are skipped.
+func AnalyzeTable(t *p4ir.Table) TableFacts {
+	type info struct {
+		ok    bool
+		masks []uint64
+		vals  []uint64
+		sig   string
+	}
+	infos := make([]info, len(t.Entries))
+	for ei := range t.Entries {
+		e := &t.Entries[ei]
+		if len(e.Match) != len(t.Keys) {
+			continue
+		}
+		in := info{ok: true, masks: make([]uint64, len(t.Keys)), vals: make([]uint64, len(t.Keys))}
+		for i, k := range t.Keys {
+			m := entryMask(k, e.Match[i])
+			in.masks[i] = m
+			in.vals[i] = e.Match[i].Value & m
+			in.sig += fmt.Sprintf("%016x,", m)
+		}
+		infos[ei] = in
+	}
+
+	var out []Shadow
+
+	// Build-time dedup: within one mask group, entries sharing a masked
+	// key collapse to a single winner (strictly higher priority replaces;
+	// ties keep the first installed).
+	type slot struct{ winner int }
+	groups := map[string]map[string]*slot{}
+	keyOf := func(in info) string {
+		s := ""
+		for _, v := range in.vals {
+			s += fmt.Sprintf("%016x,", v)
+		}
+		return s
+	}
+	losers := make([]bool, len(t.Entries))
+	for ei := range t.Entries {
+		in := infos[ei]
+		if !in.ok {
+			continue
+		}
+		g := groups[in.sig]
+		if g == nil {
+			g = map[string]*slot{}
+			groups[in.sig] = g
+		}
+		k := keyOf(in)
+		sl := g[k]
+		if sl == nil {
+			g[k] = &slot{winner: ei}
+			continue
+		}
+		if t.Entries[ei].Priority > t.Entries[sl.winner].Priority {
+			losers[sl.winner] = true
+			out = append(out, Shadow{Entry: sl.winner, By: ei, Duplicate: true})
+			sl.winner = ei
+		} else {
+			losers[ei] = true
+			out = append(out, Shadow{Entry: ei, By: sl.winner, Duplicate: true})
+		}
+	}
+
+	// Cross-group strict-priority domination only exists on the
+	// ternary/range probe path (exact tables have a single group; LPM
+	// probes longest-prefix-first where strict prefix nesting cannot
+	// produce a superset match set).
+	kind := t.WidestMatchKind()
+	ternary := kind == p4ir.MatchTernary || kind == p4ir.MatchRange
+	shadowed := make([]bool, len(t.Entries))
+	copy(shadowed, losers)
+	if ternary {
+		for a := range t.Entries {
+			ia := infos[a]
+			if !ia.ok || losers[a] {
+				continue
+			}
+			for b := range t.Entries {
+				if a == b || !infos[b].ok || losers[b] {
+					continue
+				}
+				ib := infos[b]
+				if t.Entries[b].Priority <= t.Entries[a].Priority {
+					continue
+				}
+				// b dominates a iff match(a) ⊆ match(b): per key, b's mask is
+				// a subset of a's and the masked values agree on it.
+				dominates := true
+				for i := range ia.masks {
+					if ib.masks[i]&^ia.masks[i] != 0 || (ia.vals[i]^ib.vals[i])&ib.masks[i] != 0 {
+						dominates = false
+						break
+					}
+				}
+				if dominates {
+					out = append(out, Shadow{Entry: a, By: b})
+					shadowed[a] = true
+					break
+				}
+			}
+		}
+	}
+
+	// Mask-group coverage: a group whose entries enumerate every masked
+	// value of its mask (within the key widths) matches every packet, so
+	// the table cannot miss. On the ternary probe path such a group also
+	// kills any entry that every member beats: strictly lower priority,
+	// or equal priority in a later-installed mask group (the probe scans
+	// groups in first-seen order and keeps the first best-priority hit).
+	type group struct {
+		vals    map[string]bool
+		tuples  [][]uint64
+		masks   []uint64
+		bits    int
+		prefix  int // emulator probe sort key (exact widths + LPM prefixes)
+		order   int // probe rank: prefix desc, first-seen stable
+		minPrio int
+		sample  int
+		some    bool
+	}
+	covGroups := map[string]*group{}
+	var groupSeq []*group
+	groupOf := make([]*group, len(t.Entries))
+	for ei := range t.Entries {
+		in := infos[ei]
+		if !in.ok {
+			continue
+		}
+		g := covGroups[in.sig]
+		if g == nil {
+			bits, prefix := 0, 0
+			for i, k := range t.Keys {
+				bits += popcount(in.masks[i] & widthMask(k.BitWidth()))
+				switch k.Kind {
+				case p4ir.MatchExact:
+					prefix += k.BitWidth()
+				case p4ir.MatchLPM:
+					prefix += t.Entries[ei].Match[i].PrefixLen
+				}
+			}
+			g = &group{vals: map[string]bool{}, masks: in.masks, bits: bits, prefix: prefix}
+			covGroups[in.sig] = g
+			groupSeq = append(groupSeq, g)
+		}
+		groupOf[ei] = g
+		// A masked value needing key bits beyond the key width never
+		// matches a (width-truncated) key; it contributes no coverage.
+		inWidth := true
+		for i, k := range t.Keys {
+			if in.vals[i]&^widthMask(k.BitWidth()) != 0 {
+				inWidth = false
+				break
+			}
+		}
+		if !inWidth {
+			continue
+		}
+		p := t.Entries[ei].Priority
+		if !g.some || p < g.minPrio {
+			g.minPrio, g.sample = p, ei
+		}
+		g.some = true
+		if !g.vals[keyOf(in)] {
+			g.vals[keyOf(in)] = true
+			g.tuples = append(g.tuples, in.vals)
+		}
+	}
+	// Probe rank mirrors buildTable: groups stable-sorted by prefix bits
+	// descending over first-seen order.
+	sort.SliceStable(groupSeq, func(i, j int) bool { return groupSeq[i].prefix > groupSeq[j].prefix })
+	for i, g := range groupSeq {
+		g.order = i
+	}
+	mustHit := false
+	for _, g := range groupSeq {
+		// bits is capped far above any enumerable entry count; the cap only
+		// guards the 1<<bits shift.
+		if !g.some || g.bits > 24 || len(g.vals) != 1<<uint(g.bits) {
+			continue
+		}
+		mustHit = true
+		if !ternary {
+			continue
+		}
+		for ei := range t.Entries {
+			in := infos[ei]
+			if !in.ok || shadowed[ei] || groupOf[ei] == g {
+				continue
+			}
+			p := t.Entries[ei].Priority
+			if p < g.minPrio || (p == g.minPrio && groupOf[ei].order > g.order) {
+				out = append(out, Shadow{Entry: ei, By: g.sample, Covered: true})
+				shadowed[ei] = true
+			}
+		}
+	}
+
+	// Conditional coverage: a group whose tuples are constant on every key
+	// but one, and enumerate that key's whole masked space, acts like a
+	// single virtual entry that is wildcard on the varying key — any
+	// packet it admits on the constant keys is guaranteed to match some
+	// member. Such a virtual entry dominates exactly like a real one:
+	// strictly higher minimum priority, or equal priority in an
+	// earlier-probed group. This is what kills the (entry, member-miss)
+	// combos of merged tables whose second member cannot miss: the
+	// (entry, e2_j) combos share one mask group, vary only in the second
+	// member's key, and enumerate it.
+	if ternary {
+		type virtual struct {
+			masks, vals []uint64
+			prio        int
+			order       int
+			sample      int
+		}
+		var virts []virtual
+		for _, g := range groupSeq {
+			if !g.some || len(g.tuples) < 2 {
+				continue
+			}
+			for j := range t.Keys {
+				bitsJ := popcount(g.masks[j] & widthMask(t.Keys[j].BitWidth()))
+				if bitsJ == 0 || bitsJ > 24 || len(g.tuples) < 1<<uint(bitsJ) {
+					continue
+				}
+				// Bucket the tuples by their values on every key but j; a
+				// bucket that enumerates key j's whole masked space yields
+				// one virtual entry (that bucket's context, wildcard on j).
+				type bucket struct {
+					jvals map[uint64]bool
+					rep   []uint64
+				}
+				buckets := map[string]*bucket{}
+				for _, tu := range g.tuples {
+					ctx := ""
+					for i, v := range tu {
+						if i != j {
+							ctx += fmt.Sprintf("%016x,", v)
+						}
+					}
+					b := buckets[ctx]
+					if b == nil {
+						b = &bucket{jvals: map[uint64]bool{}, rep: tu}
+						buckets[ctx] = b
+					}
+					b.jvals[tu[j]] = true
+				}
+				for _, b := range buckets {
+					if len(b.jvals) != 1<<uint(bitsJ) {
+						continue
+					}
+					vm := make([]uint64, len(g.masks))
+					vv := make([]uint64, len(g.masks))
+					copy(vm, g.masks)
+					copy(vv, b.rep)
+					vm[j], vv[j] = 0, 0
+					virts = append(virts, virtual{masks: vm, vals: vv, prio: g.minPrio, order: g.order, sample: g.sample})
+				}
+			}
+		}
+		for ei := range t.Entries {
+			in := infos[ei]
+			if !in.ok || shadowed[ei] {
+				continue
+			}
+			p := t.Entries[ei].Priority
+			for _, v := range virts {
+				if !(v.prio > p || (v.prio == p && v.order < groupOf[ei].order)) {
+					continue
+				}
+				dominates := true
+				for i := range in.masks {
+					if v.masks[i]&^in.masks[i] != 0 || (in.vals[i]^v.vals[i])&v.masks[i] != 0 {
+						dominates = false
+						break
+					}
+				}
+				if dominates {
+					out = append(out, Shadow{Entry: ei, By: v.sample, Covered: true})
+					shadowed[ei] = true
+					break
+				}
+			}
+		}
+	}
+	return TableFacts{Shadows: out, MustHit: mustHit}
+}
+
+func widthMask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(w) - 1
+}
+
+func popcount(v uint64) int {
+	return bits.OnesCount64(v)
+}

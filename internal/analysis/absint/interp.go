@@ -1,0 +1,657 @@
+package absint
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"sync"
+
+	"pipeleon/internal/p4ir"
+	"pipeleon/internal/packet"
+)
+
+// errEmptyNodeName rejects programs containing a node literally named "".
+var errEmptyNodeName = errors.New("absint: program contains a node with an empty name")
+
+// State maps field names to abstract values. Fields absent from the map
+// hold their default: header fields are parser-extracted and unconstrained
+// within their registry width, metadata starts zeroed, and unknown
+// non-meta fields read zero (mirroring the emulator's FieldInvalid
+// fallback).
+type State map[string]Value
+
+// Get reads a field, falling back to its initial-value default.
+func (s State) Get(field string) Value {
+	if v, ok := s[field]; ok {
+		return v
+	}
+	return defaultValue(field)
+}
+
+func defaultValue(field string) Value {
+	if strings.HasPrefix(field, "meta.") {
+		return Const(0)
+	}
+	if packet.FieldIDFor(field) == packet.FieldInvalid {
+		return Const(0)
+	}
+	return TopWidth(packet.FieldWidth(field))
+}
+
+// set models a field write with the emulator's truncation semantics:
+// header fields store value mod 2^width, metadata stores the full 64-bit
+// value, and writes to unknown non-meta fields are dropped.
+func (s State) set(field string, v Value) {
+	if strings.HasPrefix(field, "meta.") {
+		s[field] = v
+		return
+	}
+	if packet.FieldIDFor(field) == packet.FieldInvalid {
+		return
+	}
+	s[field] = v.Truncate(packet.FieldWidth(field))
+}
+
+func (s State) clone() State {
+	out := make(State, len(s)+2)
+	for f, v := range s {
+		out[f] = v
+	}
+	return out
+}
+
+// joinState is the field-wise least upper bound; missing fields join
+// through their defaults. a may be nil (unreached): the result is then b.
+func joinState(a, b State) State {
+	if a == nil {
+		return b.clone()
+	}
+	out := make(State, len(a)+len(b))
+	for f := range a {
+		out[f] = a[f].Join(b.Get(f))
+	}
+	for f := range b {
+		if _, ok := out[f]; !ok {
+			out[f] = b[f].Join(a.Get(f))
+		}
+	}
+	return out
+}
+
+// NodeResult is the per-node outcome of Analyze.
+type NodeResult struct {
+	// Reachable reports whether any abstract path visits the node. False
+	// implies no concrete packet can reach it (the abstraction only
+	// over-approximates).
+	Reachable bool
+	// In is the join of the abstract states over all paths reaching the
+	// node (valid only when Reachable).
+	In State
+	// EntryMay / EntryMust are per-entry match feasibility under In
+	// (tables only): EntryMay[i]==false proves entry i can never match;
+	// EntryMust[i]==true proves it always matches.
+	EntryMay  []bool
+	EntryMust []bool
+	// MissPossible reports whether the default action can execute.
+	MissPossible bool
+	// CondKnown marks conditionals whose expression the analyzable
+	// grammar covers; CondDecided/CondTaken report a branch whose outcome
+	// is proven under In.
+	CondKnown   bool
+	CondDecided bool
+	CondTaken   bool
+}
+
+// ClassOutcome summarizes one abstract execution of a program: whether
+// any path terminates, drop behaviour, and the join of all non-dropped
+// terminal (egress) states. Writes on dropped paths are unobservable and
+// excluded from Egress.
+type ClassOutcome struct {
+	// Feasible reports that at least one abstract path terminates (by
+	// egress or drop).
+	Feasible bool
+	// MayDrop / MustDrop bound drop behaviour: MustDrop means no abstract
+	// path reaches egress, so every concrete packet in the class drops.
+	MayDrop  bool
+	MustDrop bool
+	// Egress is the join of the non-dropped terminal states (nil when no
+	// path reaches egress).
+	Egress State
+}
+
+// Truncation records one provably-truncating header write found during
+// analysis: every value the operand can take exceeds the destination
+// field's width, so the write always loses high bits.
+type Truncation struct {
+	Node, Action, Field string
+	// Value is the operand's abstract value before truncation; Width the
+	// destination width it is cut to.
+	Value Value
+	Width int
+}
+
+// Result bundles the whole-program analysis.
+type Result struct {
+	Outcome ClassOutcome
+	Nodes   map[string]*NodeResult
+	// Truncations lists range-proven truncating writes on reachable paths.
+	Truncations []Truncation
+}
+
+// Analyzer runs the abstract interpreter over one program, caching
+// program-derived facts across runs — the semantic checker abstractly
+// executes the same program once per path class, so per-table work that
+// does not depend on the incoming state (currently the statically dead
+// entry sets from TableShadows) is computed once here. Safe for
+// concurrent use.
+type Analyzer struct {
+	prog *p4ir.Program
+
+	mu    sync.Mutex
+	facts map[string]tableFacts
+}
+
+// tableFacts is the interpreter-facing digest of AnalyzeTable: the
+// per-entry "never selected" mask (dedup losers, dominated and
+// group-covered entries — which the emulator's lookup can never pick and
+// the interpreter must therefore not apply, lest their actions' writes
+// leak into the egress join and flag legal Figure-6 merges as
+// inequivalent) and whether a miss is statically impossible.
+type tableFacts struct {
+	dead    []bool // nil = none
+	mustHit bool
+}
+
+// NewAnalyzer prepares an interpreter for prog. The program must not be
+// mutated while the analyzer is in use.
+func NewAnalyzer(prog *p4ir.Program) *Analyzer {
+	return &Analyzer{prog: prog, facts: map[string]tableFacts{}}
+}
+
+func (a *Analyzer) tableFacts(t *p4ir.Table) tableFacts {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f, ok := a.facts[t.Name]
+	if !ok {
+		tf := AnalyzeTable(t)
+		if len(tf.Shadows) > 0 {
+			f.dead = make([]bool, len(t.Entries))
+			for _, s := range tf.Shadows {
+				f.dead[s.Entry] = true
+			}
+		}
+		f.mustHit = tf.MustHit
+		a.facts[t.Name] = f
+	}
+	return f
+}
+
+// Analyze runs the forward interpreter over every path of the program
+// (both arms of every conditional) and returns per-node reachability,
+// field states, and entry feasibility. The program must be structurally
+// valid (acyclic, no dangling references).
+func (a *Analyzer) Analyze() (*Result, error) {
+	return a.run(nil, true)
+}
+
+// Exec abstractly executes the program under a path class: conditionals
+// named in forced take only the given branch (when feasible), all others
+// contribute both arms. A nil forced map executes the full packet space.
+func (a *Analyzer) Exec(forced map[string]bool) (ClassOutcome, error) {
+	r, err := a.run(forced, false)
+	if err != nil {
+		return ClassOutcome{}, err
+	}
+	return r.Outcome, nil
+}
+
+// Analyze is the one-shot form of Analyzer.Analyze.
+func Analyze(prog *p4ir.Program) (*Result, error) {
+	return NewAnalyzer(prog).Analyze()
+}
+
+// Exec is the one-shot form of Analyzer.Exec.
+func Exec(prog *p4ir.Program, forced map[string]bool) (ClassOutcome, error) {
+	return NewAnalyzer(prog).Exec(forced)
+}
+
+// CondNames returns the reachable conditionals in topological order — the
+// branch variables path-class enumeration forks on.
+func CondNames(prog *p4ir.Program) []string {
+	order, err := prog.TopoOrder()
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, name := range order {
+		if _, ok := prog.Conds[name]; ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func (a *Analyzer) run(forced map[string]bool, collect bool) (*Result, error) {
+	prog := a.prog
+	if prog.Has("") {
+		// p4ir's graph view treats "" as the egress sink, but the emulator
+		// resolves it to the empty-named node: the two disagree on every
+		// edge, so such (degenerate, loader-accepted) programs are
+		// unanalyzable.
+		return nil, errEmptyNodeName
+	}
+	order, err := prog.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	if collect {
+		res.Nodes = make(map[string]*NodeResult, prog.NumNodes())
+		for _, name := range prog.NodeNames() {
+			res.Nodes[name] = &NodeResult{}
+		}
+	}
+
+	in := make(map[string]State, len(order))
+	var egress State
+	egressReached := false
+	mayDrop := false
+
+	flow := func(next string, st State) {
+		if next == "" {
+			egress = joinState(egress, st)
+			egressReached = true
+			return
+		}
+		in[next] = joinState(in[next], st)
+	}
+
+	if prog.Root == "" {
+		flow("", State{})
+	} else {
+		in[prog.Root] = State{}
+	}
+
+	for _, name := range order {
+		st, reached := in[name]
+		if !reached {
+			continue
+		}
+		var nr *NodeResult
+		if collect {
+			nr = res.Nodes[name]
+			nr.Reachable = true
+			nr.In = st
+		}
+		if c, ok := prog.Conds[name]; ok {
+			runCond(c, st, forced, nr, flow)
+			continue
+		}
+		t := prog.Tables[name]
+		if spec, isCache := t.CacheMeta(); isCache && !spec.Prepopulated {
+			// Runtime flow caches are cold at deploy time and record only
+			// outcomes their covers produced: the deploy-time semantics is
+			// the always-miss path, which executes the covers unchanged.
+			flow(spec.MissNext, st.clone())
+			continue
+		}
+		var rec truncRec
+		if collect {
+			node := name
+			rec = func(action, field string, v Value, w int) {
+				res.Truncations = append(res.Truncations, Truncation{
+					Node: node, Action: action, Field: field, Value: v, Width: w,
+				})
+			}
+		}
+		if runTable(t, a.tableFacts(t), st, nr, flow, rec) {
+			mayDrop = true
+		}
+	}
+
+	res.Outcome = ClassOutcome{
+		Feasible: egressReached || mayDrop,
+		MayDrop:  mayDrop,
+		MustDrop: mayDrop && !egressReached,
+		Egress:   egress,
+	}
+	return res, nil
+}
+
+func runCond(c *p4ir.Conditional, st State, forced map[string]bool, nr *NodeResult, flow func(string, State)) {
+	ce := parseCond(c.Expr)
+	mayT, mayF := true, true
+	stT, stF := st, st
+	switch ce.kind {
+	case ckConst:
+		mayT, mayF = ce.constVal, !ce.constVal
+	case ckCompare:
+		v := st.Get(ce.field)
+		var refT, refF Value
+		mayT, mayF, refT, refF = evalCompare(v, ce.op, ce.lit)
+		if mayT {
+			stT = st.clone()
+			stT.set2(ce.field, refT)
+		}
+		if mayF {
+			stF = st.clone()
+			stF.set2(ce.field, refF)
+		}
+	}
+	if nr != nil {
+		nr.CondKnown = ce.kind != ckUnknown
+		nr.CondDecided = mayT != mayF
+		nr.CondTaken = mayT
+	}
+	if forced != nil {
+		if d, ok := forced[c.Name]; ok {
+			if d {
+				mayF = false
+			} else {
+				mayT = false
+			}
+		}
+	}
+	if mayT {
+		flow(c.TrueNext, stT.clone())
+	}
+	if mayF {
+		flow(c.FalseNext, stF.clone())
+	}
+}
+
+// set2 stores a refined value verbatim: refinement narrows an existing
+// read, so no truncation applies (the read already was in-range).
+func (s State) set2(field string, v Value) {
+	if packet.FieldIDFor(field) == packet.FieldInvalid && !strings.HasPrefix(field, "meta.") {
+		return
+	}
+	s[field] = v
+}
+
+// truncRec receives range-proven truncating writes (nil = don't record).
+type truncRec func(action, field string, v Value, w int)
+
+// runTable abstractly executes one match-action table. facts.dead marks
+// entries the emulator's lookup provably never selects (nil = none);
+// their actions are not applied and they contribute to neither match
+// feasibility nor miss exclusion — sound because a dead entry's match set
+// is covered by its killers', so any must-match it would assert holds
+// transitively for a live entry. facts.mustHit statically rules out the
+// miss path. Reports whether some path through the table drops.
+func runTable(t *p4ir.Table, facts tableFacts, st State, nr *NodeResult, flow func(string, State), rec truncRec) bool {
+	keyVals := make([]Value, len(t.Keys))
+	for i, k := range t.Keys {
+		keyVals[i] = st.Get(k.Field).Truncate(k.BitWidth())
+	}
+
+	may := make([]bool, len(t.Entries))
+	must := make([]bool, len(t.Entries))
+	missPossible := !facts.mustHit
+	for ei := range t.Entries {
+		e := &t.Entries[ei]
+		if len(e.Match) != len(t.Keys) {
+			continue // structurally invalid entry; gated upstream
+		}
+		if facts.dead != nil && facts.dead[ei] {
+			continue // shadowed: never selected, may/must stay false
+		}
+		entryMay, entryMust := true, true
+		for i, k := range t.Keys {
+			mask := entryMask(k, e.Match[i])
+			val := e.Match[i].Value & mask
+			w := k.BitWidth()
+			if !keyVals[i].MayMatch(mask, val, w) {
+				entryMay, entryMust = false, false
+				break
+			}
+			if !keyVals[i].MustMatch(mask, val, w) {
+				entryMust = false
+			}
+		}
+		may[ei], must[ei] = entryMay, entryMust
+		if entryMust {
+			missPossible = false
+		}
+	}
+	if nr != nil {
+		nr.EntryMay, nr.EntryMust, nr.MissPossible = may, must, missPossible
+	}
+
+	dropped := false
+	apply := func(act *p4ir.Action, args []string) {
+		out, drops := applyAction(st, act, args, rec)
+		if drops {
+			dropped = true
+			return
+		}
+		flow(t.NextFor(act.Name), out)
+	}
+	for ei := range t.Entries {
+		if !may[ei] {
+			continue
+		}
+		if act := t.Action(t.Entries[ei].Action); act != nil {
+			apply(act, t.Entries[ei].Args)
+		}
+	}
+	if missPossible {
+		def := t.Action(t.DefaultAction)
+		if def == nil && len(t.Actions) > 0 {
+			// The emulator falls back to the last action when no default
+			// is named.
+			def = t.Actions[len(t.Actions)-1]
+		}
+		if def == nil {
+			// Actionless table: pure forwarding node.
+			flow(t.BaseNext, st.clone())
+		} else {
+			apply(def, nil)
+		}
+	}
+	return dropped
+}
+
+// entryMask derives the comparison mask of one entry key, matching the
+// emulator's entryMasks.
+func entryMask(k p4ir.Key, mv p4ir.MatchValue) uint64 {
+	switch k.Kind {
+	case p4ir.MatchExact:
+		return k.FullMask()
+	case p4ir.MatchLPM:
+		return k.PrefixMask(mv.PrefixLen)
+	default: // ternary / range
+		return mv.Mask
+	}
+}
+
+// applyAction is the abstract transfer function of one action, mirroring
+// the emulator's compiled primitives: a drop terminates the action
+// immediately, malformed primitives are no-ops, and unknown destination
+// fields swallow the write.
+func applyAction(st State, act *p4ir.Action, args []string, rec truncRec) (State, bool) {
+	out := st.clone()
+	write := func(field string, v Value) {
+		noteTrunc(rec, act.Name, field, v)
+		out.set(field, v)
+	}
+	for _, pr := range act.Primitives {
+		switch pr.Op {
+		case "drop", "mark_to_drop":
+			return out, true
+		case "modify_field":
+			if len(pr.Args) >= 2 {
+				write(pr.Args[0], evalOperand(out, pr.Args[1], args))
+			}
+		case "add", "subtract":
+			if len(pr.Args) >= 3 {
+				a := evalOperand(out, pr.Args[1], args)
+				b := evalOperand(out, pr.Args[2], args)
+				if pr.Op == "add" {
+					write(pr.Args[0], a.Add(b))
+				} else {
+					write(pr.Args[0], a.Sub(b))
+				}
+			}
+		case "forward":
+			if len(pr.Args) >= 1 {
+				// forward writes meta.egress_port (full width, no truncation).
+				out.set("meta.egress_port", evalOperand(out, pr.Args[0], args))
+			}
+		}
+	}
+	return out, false
+}
+
+// noteTrunc reports the write to rec when the operand provably exceeds
+// the destination header field's width (metadata and unknown destinations
+// never truncate).
+func noteTrunc(rec truncRec, action, field string, v Value) {
+	if rec == nil || strings.HasPrefix(field, "meta.") {
+		return
+	}
+	if packet.FieldIDFor(field) == packet.FieldInvalid {
+		return
+	}
+	w := packet.FieldWidth(field)
+	if w >= 64 {
+		return
+	}
+	if v.Lo > (uint64(1)<<w)-1 {
+		rec(action, field, v, w)
+	}
+}
+
+// evalOperand mirrors the emulator's operand compilation and evaluation:
+// "$i" resolves entry action-data (out-of-range, negative, or
+// $-referencing data reads zero; a nil args slice is a default-action
+// execution where every $i reads zero), dotted names read fields, and
+// anything else parses as a literal (unparseable reads zero).
+func evalOperand(st State, arg string, args []string) Value {
+	if strings.HasPrefix(arg, "$") {
+		i, err := strconv.Atoi(arg[1:])
+		if err != nil || i < 0 || i >= len(args) {
+			return Const(0)
+		}
+		a := args[i]
+		if strings.HasPrefix(a, "$") {
+			return Const(0)
+		}
+		return evalBase(st, a)
+	}
+	return evalBase(st, arg)
+}
+
+func evalBase(st State, arg string) Value {
+	if p4ir.IsFieldRef(arg) {
+		return st.Get(arg)
+	}
+	v, err := strconv.ParseUint(arg, 0, 64)
+	if err != nil {
+		return Const(0)
+	}
+	return Const(v)
+}
+
+type condKind uint8
+
+const (
+	ckUnknown condKind = iota // outside the grammar: both arms possible
+	ckConst                   // "true" / "false" / ""
+	ckCompare                 // <field> <op> <literal>
+)
+
+type condExpr struct {
+	kind     condKind
+	constVal bool
+	field    string
+	op       string
+	lit      uint64
+}
+
+// parseCond mirrors nicsim's compileCond grammar. Expressions it cannot
+// analyze (valid(...) headers, custom predicates, malformed literals) are
+// ckUnknown, which the interpreter treats as "either arm" — always sound.
+func parseCond(expr string) condExpr {
+	s := strings.TrimSpace(expr)
+	switch s {
+	case "true", "":
+		return condExpr{kind: ckConst, constVal: true}
+	case "false":
+		return condExpr{kind: ckConst, constVal: false}
+	}
+	if strings.HasPrefix(s, "valid(") {
+		return condExpr{}
+	}
+	for _, op := range []string{"==", "!=", "<=", ">=", "<", ">"} {
+		if i := strings.Index(s, op); i > 0 {
+			field := strings.TrimSpace(s[:i])
+			lit, err := strconv.ParseUint(strings.TrimSpace(s[i+len(op):]), 0, 64)
+			if err != nil {
+				return condExpr{}
+			}
+			return condExpr{kind: ckCompare, field: field, op: op, lit: lit}
+		}
+	}
+	return condExpr{}
+}
+
+// evalCompare decides a field-vs-literal comparison abstractly. It
+// returns whether each arm is possible and the value refined under each
+// arm (valid only when the arm is possible).
+func evalCompare(v Value, op string, lit uint64) (mayT, mayF bool, refT, refF Value) {
+	iv := func(lo, hi uint64) Value { return Value{Lo: lo, Hi: hi} }
+	meet := func(r Value) (Value, bool) { return v.Meet(r) }
+	switch op {
+	case "==":
+		refT, mayT = meet(Const(lit))
+		refF, mayF = excludePoint(v, lit)
+	case "!=":
+		refT, mayT = excludePoint(v, lit)
+		refF, mayF = meet(Const(lit))
+	case "<":
+		if lit > 0 {
+			refT, mayT = meet(iv(0, lit-1))
+		}
+		refF, mayF = meet(iv(lit, ^uint64(0)))
+	case "<=":
+		refT, mayT = meet(iv(0, lit))
+		if lit < ^uint64(0) {
+			refF, mayF = meet(iv(lit+1, ^uint64(0)))
+		}
+	case ">":
+		if lit < ^uint64(0) {
+			refT, mayT = meet(iv(lit+1, ^uint64(0)))
+		}
+		refF, mayF = meet(iv(0, lit))
+	case ">=":
+		refT, mayT = meet(iv(lit, ^uint64(0)))
+		if lit > 0 {
+			refF, mayF = meet(iv(0, lit-1))
+		}
+	default:
+		return true, true, v, v
+	}
+	return
+}
+
+// excludePoint refines v under "!= lit": the interval shrinks only when
+// lit sits on an endpoint; emptiness means v must equal lit.
+func excludePoint(v Value, lit uint64) (Value, bool) {
+	if !v.Contains(lit) {
+		return v, true
+	}
+	if v.Lo == v.Hi {
+		return Value{}, false
+	}
+	out := v
+	if lit == v.Lo {
+		out.Lo++
+	} else if lit == v.Hi {
+		out.Hi--
+	}
+	if n, ok := out.normalize(); ok {
+		return n, true
+	}
+	return Value{}, false
+}

@@ -340,6 +340,24 @@ func (c *Client) Deploy(prog *p4ir.Program) error {
 	return err
 }
 
+// DeployDiags is Deploy, but also returns the diagnostics the server
+// attached to an accepted deploy — lint warnings ride along with
+// successful stagings instead of being discarded.
+func (c *Client) DeployDiags(prog *p4ir.Program) (diag.List, error) {
+	data, err := prog.MarshalJSON()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.call(&Request{Op: OpDeploy, Program: data})
+	if err != nil {
+		if resp != nil && len(resp.Diags) > 0 {
+			return resp.Diags, &DeployError{Diags: resp.Diags, Err: err}
+		}
+		return nil, err
+	}
+	return resp.Diags, nil
+}
+
 // Commit finalizes the staged remote deploy.
 func (c *Client) Commit() error {
 	_, err := c.call(&Request{Op: OpCommit})

@@ -122,3 +122,96 @@ func TestDiagnosticsRoundTripJSON(t *testing.T) {
 		}
 	}
 }
+
+// The WithDeepVerify tier: the first deploy sets the semantic baseline,
+// later deploys must prove equivalence against it, and rejections carry
+// the SE diagnostics over the wire.
+func TestRemoteDeployDeepVerify(t *testing.T) {
+	srv, _ := newDeviceServer(t, WithDeepVerify())
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	mk := func(name string, markVal string) *p4ir.Program {
+		prog, err := p4ir.ChainTables(name, []p4ir.TableSpec{{
+			Name:          "acl2",
+			Keys:          []p4ir.Key{{Field: "tcp.sport", Kind: p4ir.MatchExact, Width: packet.FieldWidth("tcp.sport")}},
+			Actions:       []*p4ir.Action{p4ir.DropAction(), p4ir.NewAction("allow", p4ir.Prim("modify_field", "meta.mark", markVal))},
+			DefaultAction: "allow",
+			Entries:       []p4ir.Entry{{Match: []p4ir.MatchValue{{Value: 80}}, Action: "drop_packet"}},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prog
+	}
+
+	// First deploy: baseline.
+	if err := cl.Deploy(mk("base", "1")); err != nil {
+		t.Fatalf("baseline deploy failed: %v", err)
+	}
+	// Equivalent redeploy: accepted.
+	if err := cl.Deploy(mk("same", "1")); err != nil {
+		t.Fatalf("equivalent redeploy rejected: %v", err)
+	}
+	// Changed observable write: rejected with SE003 on the wire.
+	err = cl.Deploy(mk("evil", "2"))
+	if err == nil {
+		t.Fatal("semantics-changing deploy accepted")
+	}
+	var de *DeployError
+	if !errors.As(err, &de) {
+		t.Fatalf("error is %T, want *DeployError: %v", err, err)
+	}
+	found := false
+	for _, d := range de.Diags.Errors() {
+		if d.Code == analysis.CodeSemEgress {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no %s diagnostic in %v", analysis.CodeSemEgress, de.Diags)
+	}
+	if !strings.Contains(err.Error(), "semantic verification") {
+		t.Errorf("error message %q does not mention semantic verification", err)
+	}
+}
+
+// Deep lints (PL2xx) ride along as warnings on an accepted deep deploy.
+func TestRemoteDeployDeepLintWarnings(t *testing.T) {
+	srv, _ := newDeviceServer(t, WithDeepVerify())
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	prog, err := p4ir.ChainTables("warny", []p4ir.TableSpec{{
+		Name:          "t",
+		Keys:          []p4ir.Key{{Field: "ipv4.tos", Kind: p4ir.MatchTernary, Width: packet.FieldWidth("ipv4.tos")}},
+		Actions:       []*p4ir.Action{p4ir.NoopAction("a")},
+		DefaultAction: "a",
+		Entries: []p4ir.Entry{
+			{Priority: 1, Match: []p4ir.MatchValue{{Value: 0x10, Mask: 0xff}}, Action: "a"},
+			{Priority: 9, Match: []p4ir.MatchValue{{Value: 0, Mask: 0}}, Action: "a"},
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.DeployDiags(prog)
+	if err != nil {
+		t.Fatalf("deploy failed: %v", err)
+	}
+	found := false
+	for _, d := range resp {
+		if d.Code == analysis.CodeShadowedEntry {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("accepted deploy carries no %s warning: %v", analysis.CodeShadowedEntry, resp)
+	}
+}

@@ -96,6 +96,19 @@ func WithDevice(dev target.Target) ServerOption {
 	return func(s *Server) { s.device = dev }
 }
 
+// WithDeepVerify arms the symbolic tier of the OpDeploy gate: staged
+// programs additionally run the value-range lints (warnings on the
+// wire), and every deploy after the first must prove semantic
+// equivalence — identical per-path-class drop behaviour and egress field
+// ranges under abstract interpretation — against the first successfully
+// deployed program, which the server records as the semantic baseline.
+// This matches the runtime model where a device server hosts one program
+// being continuously re-optimized; serving a genuinely new program needs
+// a fresh server (or no deep gate).
+func WithDeepVerify() ServerOption {
+	return func(s *Server) { s.deepVerify = true }
+}
+
 // Server serves the control protocol over TCP.
 type Server struct {
 	backend   Backend
@@ -105,6 +118,12 @@ type Server struct {
 	idem      *idemCache
 	faults    faultinject.Injector
 	statusFn  func() ([]byte, error) // optional, for OpStats
+
+	// deepVerify arms the symbolic OpDeploy tier; sem is the semantic
+	// checker built from the first successfully deployed program.
+	deepVerify bool
+	semMu      sync.Mutex
+	sem        *analysis.SemanticChecker
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -280,14 +299,42 @@ func (s *Server) apply(req *Request) *Response {
 		// remote client gets the same static-analysis gate a local
 		// runtime applies, with the diagnostics on the wire.
 		diags := analysis.Lint(prog, analysis.WithParams(s.device.Capabilities().Params))
-		resp.Diags = diags
 		if diags.HasErrors() {
+			resp.Diags = diags
 			resp.OK = false
 			resp.Error = "program rejected by static analysis: " + diags.Errors()[0].String()
 			return resp
 		}
+		if s.deepVerify {
+			diags = append(diags, analysis.LintDeep(prog)...)
+			s.semMu.Lock()
+			sc := s.sem
+			s.semMu.Unlock()
+			if sc != nil {
+				sem := sc.Verify(prog)
+				diags = append(diags, sem...)
+				if sem.HasErrors() {
+					diags.Sort()
+					resp.Diags = diags
+					resp.OK = false
+					resp.Error = "program rejected by semantic verification: " + sem.Errors()[0].String()
+					return resp
+				}
+			}
+			diags.Sort()
+		}
+		resp.Diags = diags
 		if err := s.device.Deploy(prog); err != nil {
 			return fail(err)
+		}
+		if s.deepVerify {
+			// The first program a deep-verifying server stages becomes the
+			// semantic baseline every later deploy is proven against.
+			s.semMu.Lock()
+			if s.sem == nil {
+				s.sem = analysis.NewSemanticChecker(prog.Clone())
+			}
+			s.semMu.Unlock()
 		}
 	case OpCommit:
 		if s.device == nil {

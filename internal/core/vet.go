@@ -23,10 +23,20 @@ func vetProgram(orig, next *p4ir.Program, pm costmodel.Params) diag.List {
 }
 
 // deployGate applies vetProgram before a deploy, recording diagnostics in
-// the report. It returns false — and fills DeployError — when the program
-// must not reach the device.
+// the report. With DeepVerify configured it additionally runs the
+// symbolic tier: the value-range lints (warnings) and, for rewritten
+// programs, the differential semantic-equivalence proof against the
+// original (errors block the deploy). It returns false — and fills
+// DeployError — when the program must not reach the device.
 func (r *Runtime) deployGate(next *p4ir.Program, report *RoundReport) bool {
 	diags := vetProgram(r.orig, next, r.pm)
+	if r.sem != nil {
+		diags = append(diags, analysis.LintDeep(next)...)
+		if next != r.orig {
+			diags = append(diags, r.sem.Verify(next)...)
+		}
+		diags.Sort()
+	}
 	if len(diags) > 0 {
 		report.Diagnostics = diags.Strings()
 	}

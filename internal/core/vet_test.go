@@ -100,3 +100,76 @@ func TestDeployGateFillsReport(t *testing.T) {
 		t.Errorf("clean deploy left DeployError = %q", clean.DeployError)
 	}
 }
+
+// The DeepVerify tier of the deploy gate: a candidate that keeps the
+// original's dependency structure (so the always-on rewrite proof passes)
+// but changes an observable write must be blocked — and only when the
+// deep gate is configured.
+func TestDeepDeployGateBlocksSemanticChange(t *testing.T) {
+	prog := aclProgram(t)
+
+	// Same shape and dependency structure, but the miss path now writes a
+	// different value: structurally a valid rewrite, semantically not.
+	mut := prog.Clone()
+	mut.Tables["t1"].Actions[1] = p4ir.NewAction("pass", p4ir.Prim("modify_field", "meta.t1", "2"))
+
+	// Without the deep gate the mutation sails through.
+	shallow, _, _ := newRig(t, prog, opt.DefaultConfig())
+	var rep RoundReport
+	if !shallow.deployGate(mut, &rep) {
+		t.Fatalf("shallow gate blocked the mutation: %v", rep.DeployError)
+	}
+
+	cfg := opt.DefaultConfig()
+	cfg.DeepVerify = true
+	deep, _, _ := newRig(t, prog, cfg)
+
+	var blocked RoundReport
+	if deep.deployGate(mut, &blocked) {
+		t.Fatal("deep gate passed a semantics-changing candidate")
+	}
+	if !strings.Contains(blocked.DeployError, "SE003") {
+		t.Errorf("DeployError = %q, want an SE003 block", blocked.DeployError)
+	}
+
+	// The unchanged program and a legal independent reorder still deploy.
+	var clean RoundReport
+	if !deep.deployGate(prog, &clean) {
+		t.Fatalf("deep gate blocked the unchanged program: %v", clean.DeployError)
+	}
+	reordered, err := p4ir.ChainTables("aclprog", []p4ir.TableSpec{
+		{
+			Name:          "t2",
+			Keys:          []p4ir.Key{{Field: "ipv4.srcAddr", Kind: p4ir.MatchExact, Width: packet.FieldWidth("ipv4.srcAddr")}},
+			Actions:       []*p4ir.Action{p4ir.NewAction("set", p4ir.Prim("modify_field", "meta.t2", "1")), p4ir.NoopAction("pass")},
+			DefaultAction: "pass",
+		},
+		{
+			Name:          "t1",
+			Keys:          []p4ir.Key{{Field: "ipv4.dstAddr", Kind: p4ir.MatchExact, Width: packet.FieldWidth("ipv4.dstAddr")}},
+			Actions:       []*p4ir.Action{p4ir.NewAction("set", p4ir.Prim("modify_field", "meta.t1", "1")), p4ir.NoopAction("pass")},
+			DefaultAction: "pass",
+		},
+		{
+			Name:          "acl1",
+			Keys:          []p4ir.Key{{Field: "tcp.sport", Kind: p4ir.MatchExact, Width: packet.FieldWidth("tcp.sport")}},
+			Actions:       []*p4ir.Action{p4ir.DropAction(), p4ir.NoopAction("allow")},
+			DefaultAction: "allow",
+			Entries:       []p4ir.Entry{{Match: []p4ir.MatchValue{{Value: 1111}}, Action: "drop_packet"}},
+		},
+		{
+			Name:          "acl2",
+			Keys:          []p4ir.Key{{Field: "tcp.dport", Kind: p4ir.MatchExact, Width: packet.FieldWidth("tcp.dport")}},
+			Actions:       []*p4ir.Action{p4ir.DropAction(), p4ir.NoopAction("allow")},
+			DefaultAction: "allow",
+			Entries:       []p4ir.Entry{{Match: []p4ir.MatchValue{{Value: 23}}, Action: "drop_packet"}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ok RoundReport
+	if !deep.deployGate(reordered, &ok) {
+		t.Fatalf("deep gate blocked an equivalent reorder: %v", ok.DeployError)
+	}
+}

@@ -119,6 +119,14 @@ type Config struct {
 	// serially — the default, which keeps recorded replay traces and
 	// their golden measurements byte-stable.
 	MeasureWorkers int
+	// DeepVerify additionally gates every plan option behind
+	// analysis.VerifySemantics: a differential abstract-interpretation
+	// check that the rewritten program preserves per-path-class drop
+	// behaviour and egress field ranges, on top of the always-on
+	// dependency-ordering proof. Verdicts are memoized per candidate in
+	// the session, like the ordering verifier's. Off by default — it
+	// roughly doubles per-candidate verification cost.
+	DeepVerify bool
 }
 
 // DefaultConfig returns the paper-faithful defaults.

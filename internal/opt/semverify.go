@@ -1,0 +1,104 @@
+package opt
+
+import (
+	"sync"
+
+	"pipeleon/internal/analysis"
+	"pipeleon/internal/diag"
+	"pipeleon/internal/p4ir"
+)
+
+// semVerifier is the deep-gate counterpart of planVerifier: it proves
+// each candidate option semantically equivalent to the original program
+// (analysis.VerifySemantics — per-path-class drop behaviour and egress
+// field ranges under abstract interpretation), amortized the same way:
+//
+//   - the original program's path classes and their abstract outcomes are
+//     enumerated once (analysis.SemanticChecker),
+//   - each candidate applies to a cheap scratch clone, and
+//   - verdicts are memoized per option identity — semantics depend only
+//     on the program and the option, never on the profile.
+//
+// It exists only when Config.DeepVerify is set; a nil *semVerifier means
+// the deep gate is off and every verify call is vacuously true.
+type semVerifier struct {
+	prog *p4ir.Program
+	cfg  Config
+	sc   *analysis.SemanticChecker
+
+	mu      sync.Mutex
+	verdict map[string]bool
+	hits    uint64
+	misses  uint64
+}
+
+func newSemVerifier(prog *p4ir.Program, cfg Config) *semVerifier {
+	return newSemVerifierShared(prog, cfg, analysis.NewSemanticChecker(prog))
+}
+
+// newSemVerifierShared reuses a prebuilt semantic checker — it depends
+// only on the program, so a sweep's points share it.
+func newSemVerifierShared(prog *p4ir.Program, cfg Config, sc *analysis.SemanticChecker) *semVerifier {
+	return &semVerifier{
+		prog:    prog,
+		cfg:     cfg,
+		sc:      sc,
+		verdict: map[string]bool{},
+	}
+}
+
+// verify reports whether o's rewrite provably preserves the original
+// program's packet semantics. A nil receiver (deep gate off) accepts
+// everything. Safe for concurrent use.
+func (v *semVerifier) verify(o *Option) bool {
+	if v == nil {
+		return true
+	}
+	key := o.String()
+	v.mu.Lock()
+	if r, ok := v.verdict[key]; ok {
+		v.hits++
+		v.mu.Unlock()
+		return r
+	}
+	v.misses++
+	v.mu.Unlock()
+
+	r := v.check(o)
+
+	v.mu.Lock()
+	v.verdict[key] = r
+	v.mu.Unlock()
+	return r
+}
+
+func (v *semVerifier) check(o *Option) bool {
+	scratch := scratchClone(v.prog)
+	if err := applyOption(scratch, o, NewCounterMap(), v.cfg); err != nil {
+		return false
+	}
+	return !v.sc.Verify(scratch).HasErrors()
+}
+
+// verifyProgram runs the semantic check against an already-applied
+// program (the belt-and-braces joint check in SearchAndApply), returning
+// only blocking diagnostics.
+func (v *semVerifier) verifyProgram(prog *p4ir.Program) diag.List {
+	if v == nil {
+		return nil
+	}
+	if d := v.sc.Verify(prog); d.HasErrors() {
+		return d.Errors()
+	}
+	return nil
+}
+
+// stats returns the memo hit/miss counters; zero on a nil receiver.
+func (v *semVerifier) stats() (hits, misses uint64) {
+	if v == nil {
+		return 0, 0
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.hits, v.misses
+}

@@ -46,6 +46,7 @@ type Session struct {
 	part     *pipelet.Partition
 	an       *deps.Analyzer // shared analyzer (lazy when nil; see ensureEvaluator)
 	verifier *planVerifier
+	sem      *semVerifier // nil unless cfg.DeepVerify
 
 	mu    sync.Mutex // guards ev, memo, stats across rounds
 	ev    *Evaluator
@@ -72,6 +73,10 @@ type SessionStats struct {
 	// VerifyHits / VerifyMisses count verification-verdict-memo outcomes.
 	VerifyHits   uint64
 	VerifyMisses uint64
+	// DeepVerifyHits / DeepVerifyMisses count the semantic-verdict memo
+	// (zero unless Config.DeepVerify).
+	DeepVerifyHits   uint64
+	DeepVerifyMisses uint64
 	// LastSignature is the quantized profile signature of the last round.
 	LastSignature string
 	// LastSearch / TotalSearch are wall-clock search latencies.
@@ -86,23 +91,29 @@ func NewSession(prog *p4ir.Program, pm costmodel.Params, cfg Config) (*Session, 
 	if err != nil {
 		return nil, err
 	}
-	return &Session{
+	s := &Session{
 		prog:     prog,
 		pm:       pm,
 		cfg:      cfg,
 		part:     part,
 		verifier: newPlanVerifier(prog, cfg),
 		memo:     map[string]*unitEntry{},
-	}, nil
+	}
+	if cfg.DeepVerify {
+		s.sem = newSemVerifier(prog, cfg)
+	}
+	return s, nil
 }
 
 // newSessionShared builds a session over prebuilt program-derived state: a
-// pipelet partition, a dependency analyzer, and the rewrite checker with
-// its predecessor index. Sweep uses it so every point shares the
-// program-only analyses and pays only for its own evaluator and memos.
+// pipelet partition, a dependency analyzer, the rewrite checker with its
+// predecessor index, and (when the point enables DeepVerify) the semantic
+// checker. Sweep uses it so every point shares the program-only analyses
+// and pays only for its own evaluator and memos.
 func newSessionShared(prog *p4ir.Program, pm costmodel.Params, cfg Config, part *pipelet.Partition,
-	an *deps.Analyzer, rc *analysis.RewriteChecker, preds map[string][]string) *Session {
-	return &Session{
+	an *deps.Analyzer, rc *analysis.RewriteChecker, preds map[string][]string,
+	sc *analysis.SemanticChecker) *Session {
+	s := &Session{
 		prog:     prog,
 		pm:       pm,
 		cfg:      cfg,
@@ -111,15 +122,21 @@ func newSessionShared(prog *p4ir.Program, pm costmodel.Params, cfg Config, part 
 		verifier: newPlanVerifierShared(prog, cfg, rc, preds),
 		memo:     map[string]*unitEntry{},
 	}
+	if cfg.DeepVerify && sc != nil {
+		s.sem = newSemVerifierShared(prog, cfg, sc)
+	}
+	return s
 }
 
 // Stats returns a snapshot of the session counters.
 func (s *Session) Stats() SessionStats {
 	hits, misses := s.verifier.stats()
+	deepHits, deepMisses := s.sem.stats()
 	s.mu.Lock()
 	st := s.stats
 	s.mu.Unlock()
 	st.VerifyHits, st.VerifyMisses = hits, misses
+	st.DeepVerifyHits, st.DeepVerifyMisses = deepHits, deepMisses
 	return st
 }
 
@@ -283,13 +300,14 @@ func (s *Session) searchLocked(prof *profile.Profile) (*SearchResult, error) {
 	return res, nil
 }
 
-// verifyPlan discards the selected options that fail verification. Plan
-// options belong to disjoint units, so verifying them in isolation is
-// exact.
+// verifyPlan discards the selected options that fail verification — the
+// dependency-ordering proof always, plus the semantic-equivalence proof
+// when the deep gate is on. Plan options belong to disjoint units, so
+// verifying them in isolation is exact.
 func (s *Session) verifyPlan(plan []*Option) []*Option {
 	out := make([]*Option, 0, len(plan))
 	for _, o := range plan {
-		if s.verifier.verify(o) {
+		if s.verifier.verify(o) && s.sem.verify(o) {
 			out = append(out, o)
 		}
 	}
@@ -318,6 +336,10 @@ func (s *Session) SearchAndApply(prof *profile.Profile) (*SearchResult, *Rewrite
 		return res, nil, fmt.Errorf("opt: optimized program fails rewrite verification: %s",
 			strings.Join(d.Errors().Strings(), "; "))
 	}
+	if d := s.sem.verifyProgram(rw.Program); len(d) > 0 {
+		return res, nil, fmt.Errorf("opt: optimized program fails semantic verification: %s",
+			strings.Join(d.Strings(), "; "))
+	}
 	return res, rw, nil
 }
 
@@ -333,7 +355,7 @@ func (s *Session) ReScore(prof *profile.Profile, plan []*Option) float64 {
 	s.ensureEvaluator(prof)
 	scores := make([]float64, len(plan))
 	runIndexed(len(plan), s.cfg.searchWorkers(), func(i int) {
-		if !s.verifier.verify(plan[i]) {
+		if !s.verifier.verify(plan[i]) || !s.sem.verify(plan[i]) {
 			return
 		}
 		scores[i] = s.ev.ScoreOption(plan[i])

@@ -40,6 +40,15 @@ func Sweep(prog *p4ir.Program, prof *profile.Profile, points []SweepPoint, worke
 	an := deps.NewAnalyzer(prog)
 	rc := analysis.NewRewriteChecker(prog)
 	preds := predecessors(prog)
+	// The semantic checker is only built when some point wants the deep
+	// gate — path-class enumeration is not free.
+	var sc *analysis.SemanticChecker
+	for _, pt := range points {
+		if pt.Config.DeepVerify {
+			sc = analysis.NewSemanticChecker(prog)
+			break
+		}
+	}
 	parts := map[int]*pipelet.Partition{}
 	sessions := make([]*Session, len(points))
 	for i, pt := range points {
@@ -52,7 +61,7 @@ func Sweep(prog *p4ir.Program, prof *profile.Profile, points []SweepPoint, worke
 			}
 			parts[pt.Config.MaxPipeletLen] = part
 		}
-		sessions[i] = newSessionShared(prog, pt.Params, pt.Config, part, an, rc, preds)
+		sessions[i] = newSessionShared(prog, pt.Params, pt.Config, part, an, rc, preds, sc)
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -8,6 +8,7 @@ package synth
 
 import (
 	"fmt"
+	"math/bits"
 
 	"pipeleon/internal/p4ir"
 	"pipeleon/internal/stats"
@@ -268,31 +269,115 @@ func entryCount(spec ProgramSpec, rng *stats.RNG) int {
 
 // syntheticEntries installs n entries matching the table's key kinds,
 // using the paper's benchmarking defaults: 3 distinct prefixes for LPM
-// tables and 5 distinct masks for ternary tables (§3.1).
+// tables and 5 distinct masks for ternary tables (§3.1). Every entry is
+// installable and selectable: masked keys are unique within their mask
+// group (no build-time dedup losers, PL201), ternary priority tracks
+// mask specificity so a coarse mask can never dominate a more specific
+// one, and narrow groups are capped below their full value space so no
+// mask group can enumerate every packet and starve the rest (PL202).
+// An entry whose drawn mask class is full spills into the next class;
+// only a table whose whole key space is exhausted comes up short.
 func syntheticEntries(rng *stats.RNG, ts p4ir.TableSpec, n int) []p4ir.Entry {
 	entries := make([]p4ir.Entry, 0, n)
+	seen := map[string]bool{}
+	groupN := map[string]int{}
 	for i := 0; i < n; i++ {
 		e := p4ir.Entry{Action: "act_main"}
+		ok := true
 		for _, k := range ts.Keys {
-			mv := p4ir.MatchValue{Value: uint64(rng.Intn(1 << min(k.BitWidth(), 20)))}
-			switch k.Kind {
-			case p4ir.MatchLPM:
-				// Three distinct prefixes at 1/4, 1/2, and 3/4 of the key
-				// width (8/16/24 on a 32-bit address) — a prefix must never
-				// exceed the key itself (a /24 on a 16-bit port field is
-				// malformed; PL104 flags it).
-				w := k.BitWidth()
-				mv.PrefixLen = (1 + i%3) * w / 4
-				mv.Value &= k.PrefixMask(mv.PrefixLen)
-			case p4ir.MatchTernary, p4ir.MatchRange:
-				shift := (i % 5) * 2
-				mv.Mask = k.FullMask() &^ ((uint64(1) << shift) - 1)
-				mv.Value &= mv.Mask
-				e.Priority = 1 + i%5
+			raw := uint64(rng.Intn(1 << min(k.BitWidth(), 20)))
+			mv, placed := placeEntry(k, raw, i, seen, groupN)
+			if !placed {
+				ok = false
+				break
 			}
-			e.Match = append(e.Match, mv)
+			if k.Kind == p4ir.MatchTernary || k.Kind == p4ir.MatchRange {
+				e.Priority = mv.priority
+			}
+			e.Match = append(e.Match, mv.MatchValue)
 		}
-		entries = append(entries, e)
+		if ok {
+			entries = append(entries, e)
+		}
 	}
 	return entries
+}
+
+// placedMatch is one synthesized match value plus the entry priority its
+// mask class dictates (ternary/range only).
+type placedMatch struct {
+	p4ir.MatchValue
+	priority int
+}
+
+// placeEntry finds a free masked key for one table key, starting from
+// entry index i's mask class and spilling into the following classes
+// when a class's value space is full. Classes per kind follow the
+// paper's defaults: LPM prefixes at 1/4, 1/2, 3/4 of the key width;
+// ternary masks keeping the top width-2c bits, with priority tied to
+// specificity (the most specific mask ranks highest) so no entry is
+// dominated by a coarser, higher-priority one.
+func placeEntry(k p4ir.Key, raw uint64, i int, seen map[string]bool, groupN map[string]int) (placedMatch, bool) {
+	classes := 1
+	switch k.Kind {
+	case p4ir.MatchLPM:
+		classes = 3
+	case p4ir.MatchTernary, p4ir.MatchRange:
+		classes = 5
+	}
+	for attempt := 0; attempt < classes; attempt++ {
+		c := (i + attempt) % classes
+		mv := placedMatch{MatchValue: p4ir.MatchValue{Value: raw}}
+		mask := k.FullMask()
+		var sig string
+		switch k.Kind {
+		case p4ir.MatchLPM:
+			// A prefix must never exceed the key itself (a /24 on a
+			// 16-bit port field is malformed; PL104 flags it).
+			mv.PrefixLen = (1 + c) * k.BitWidth() / 4
+			mask = k.PrefixMask(mv.PrefixLen)
+			sig = fmt.Sprintf("lpm/%d", mv.PrefixLen)
+		case p4ir.MatchTernary, p4ir.MatchRange:
+			mask = k.FullMask() &^ ((uint64(1) << (c * 2)) - 1)
+			mv.Mask = mask
+			mv.priority = 5 - c
+			sig = fmt.Sprintf("tern/%x", mask)
+		default:
+			sig = "exact"
+		}
+		mv.Value &= mask
+		// A fully-enumerated mask group matches every packet, starving
+		// everything at lower priority (the analyzer proves it): cap
+		// each group one below its value space. A wildcard mask has a
+		// one-entry space and takes exactly one entry.
+		step := mask & -mask
+		space := uint64(1) << 62
+		if k.Kind == p4ir.MatchTernary || k.Kind == p4ir.MatchRange {
+			if step == 0 {
+				space = 1
+			} else if w := bits.OnesCount64(mask); w < 62 {
+				space = (uint64(1) << w) - 1
+			}
+		}
+		if uint64(groupN[sig]) >= space {
+			continue // class full: spill into the next one
+		}
+		// Masks are contiguous high blocks, so stepping by the mask's
+		// lowest set bit cycles through the whole group space.
+		free := true
+		for tries := 0; seen[fmt.Sprintf("%s:%x", sig, mv.Value)]; tries++ {
+			if step == 0 || tries >= 1<<12 {
+				free = false
+				break
+			}
+			mv.Value = (mv.Value + step) & mask
+		}
+		if !free {
+			continue
+		}
+		seen[fmt.Sprintf("%s:%x", sig, mv.Value)] = true
+		groupN[sig]++
+		return mv, true
+	}
+	return placedMatch{}, false
 }

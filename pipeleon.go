@@ -224,6 +224,29 @@ func VerifyRewrite(orig, opt *Program) Diagnostics {
 	return analysis.VerifyRewrite(orig, opt)
 }
 
+// LintDeep runs the symbolic lint tier on top of Lint: the abstract
+// interpreter's value-range rules (PL2xx — entries that can never be
+// selected, shadowed entries, branches decided under the inferred
+// ranges, dead writes, proven truncations). All findings are warnings;
+// they flag dead weight and likely authoring bugs, not unsound
+// programs. Enable the same tier at runtime with Options.DeepVerify.
+func LintDeep(prog *Program, target ...Target) Diagnostics {
+	var opts []analysis.Option
+	if len(target) > 0 {
+		opts = append(opts, analysis.WithParams(target[0]))
+	}
+	return analysis.LintDeep(prog, opts...)
+}
+
+// VerifySemantics proves opt observably equivalent to orig per path
+// class under the abstract value domain — the SExxx rule family,
+// catching value-level divergence the structural VerifyRewrite cannot
+// see. An empty result means every feasible path class drops the same
+// way and leaves the same abstract value in every observable field.
+func VerifySemantics(orig, opt *Program) Diagnostics {
+	return analysis.VerifySemantics(orig, opt)
+}
+
 // Optimize runs one search-and-rewrite round against a program, profile,
 // and target.
 func Optimize(prog *Program, prof *Profile, target Target, o Options) (*Plan, error) {
